@@ -1,0 +1,240 @@
+// Benchmarks regenerating every figure/experiment of the paper at reduced
+// (Small) scale, plus ablations of the design choices called out in
+// DESIGN.md. Run the full-scale experiments with cmd/repro -scale paper.
+package cleansel_test
+
+import (
+	"testing"
+
+	"github.com/factcheck/cleansel/internal/core"
+	"github.com/factcheck/cleansel/internal/datasets"
+	"github.com/factcheck/cleansel/internal/ev"
+	"github.com/factcheck/cleansel/internal/expt"
+	"github.com/factcheck/cleansel/internal/knapsack"
+	"github.com/factcheck/cleansel/internal/maxpr"
+	"github.com/factcheck/cleansel/internal/model"
+	"github.com/factcheck/cleansel/internal/query"
+	"github.com/factcheck/cleansel/internal/rng"
+)
+
+// benchExperiment runs one registered experiment per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.Run(id, expt.Small, 42); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- One bench per paper artifact -------------------------------------------
+
+func BenchmarkFig01(b *testing.B)    { benchExperiment(b, "fig1") }  // Fig 1(a–d): fairness, modular
+func BenchmarkFig02(b *testing.B)    { benchExperiment(b, "fig2") }  // Fig 2(a,b): uniqueness, CDC
+func BenchmarkFig03(b *testing.B)    { benchExperiment(b, "fig3") }  // Fig 3(a–f): uniqueness, URx
+func BenchmarkFig04(b *testing.B)    { benchExperiment(b, "fig4") }  // Fig 4(a–f): uniqueness, LNx
+func BenchmarkFig05(b *testing.B)    { benchExperiment(b, "fig5") }  // Fig 5(a–f): uniqueness, SMx
+func BenchmarkFig06(b *testing.B)    { benchExperiment(b, "fig6") }  // Fig 6(a,b): improvement curves
+func BenchmarkFig07(b *testing.B)    { benchExperiment(b, "fig7") }  // Fig 7(a,b): robustness
+func BenchmarkFig08(b *testing.B)    { benchExperiment(b, "fig8") }  // Fig 8(a,b): in action, CDC-causes
+func BenchmarkFig09(b *testing.B)    { benchExperiment(b, "fig9") }  // Fig 9(a,b): in action, URx
+func BenchmarkFig10(b *testing.B)    { benchExperiment(b, "fig10") } // Fig 10(a,b): running time
+func BenchmarkFig11(b *testing.B)    { benchExperiment(b, "fig11") } // Fig 11(a,b): dependencies
+func BenchmarkFig12(b *testing.B)    { benchExperiment(b, "fig12") } // Fig 12(a,b): competing objectives
+func BenchmarkCounters(b *testing.B) { benchExperiment(b, "counters") }
+func BenchmarkThm39(b *testing.B)    { benchExperiment(b, "thm39") }
+
+// --- Ablations ----------------------------------------------------------------
+
+// uniqWorkload builds a small uniqueness workload shared by the ablations.
+func uniqWorkload(n int) (*model.DB, *query.GroupSum) {
+	db := datasets.URx(n, 7)
+	w := expt.SyntheticUniquenessFromDB(db, 100)
+	return db, w.Set.Dup()
+}
+
+// BenchmarkAblationGroupEV measures the Theorem 3.8 group engine against
+// joint enumeration on an instance small enough for both (8 objects).
+func BenchmarkAblationGroupEV(b *testing.B) {
+	db, g := uniqWorkload(8)
+	engine, err := ev.NewGroupEngine(db, g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	T := model.NewSet(0, 5)
+	b.Run("group", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			engine.EV(T)
+		}
+	})
+	bf, err := ev.NewBruteForce(db, g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("bruteforce", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			bf.EV(T)
+		}
+	})
+}
+
+// BenchmarkAblationLazyGreedy compares the local-invalidation queue
+// greedy (GreedyMinVarGroup) against the O(n²) adaptive greedy re-scan.
+func BenchmarkAblationLazyGreedy(b *testing.B) {
+	db, g := uniqWorkload(200)
+	budget := db.Budget(0.3)
+	b.Run("queue", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sel, err := core.NewGreedyMinVarGroup(db, g)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sel.Select(budget); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("rescan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			engine, err := ev.NewGroupEngine(db, g)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sel, err := core.NewGreedyEngine("GreedyMinVar", db, engine)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sel.Select(budget); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationSingletonBulk compares the bulk one-pass-per-term
+// initial benefit computation against per-object Delta calls.
+func BenchmarkAblationSingletonBulk(b *testing.B) {
+	db, g := uniqWorkload(400)
+	engine, err := ev.NewGroupEngine(db, g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("bulk", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			st := engine.NewState()
+			st.SingletonBenefits()
+		}
+	})
+	b.Run("perobject", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			st := engine.NewState()
+			for o := 0; o < db.N(); o++ {
+				st.Delta(o)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationConvVsMC compares exact convolution against Monte
+// Carlo for the MaxPr objective.
+func BenchmarkAblationConvVsMC(b *testing.B) {
+	db, _ := uniqWorkload(24)
+	w := expt.SyntheticUniquenessFromDB(db, 100)
+	bias := w.Set.Bias()
+	T := model.NewSet(0, 1, 2, 3, 4, 5)
+	exact, err := maxpr.NewDiscreteAffine(db, bias, 1, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("convolution", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := exact.ProbErr(T); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	mc, err := maxpr.NewMonteCarlo(db, bias, 1, 10000, rng.New(3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("montecarlo10k", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			mc.Prob(T)
+		}
+	})
+}
+
+// BenchmarkAblationFinalCheck measures Algorithm 1's final best-single-
+// item check on the §3.1 adversarial instance family, reporting the
+// quality ratio it rescues.
+func BenchmarkAblationFinalCheck(b *testing.B) {
+	values := []float64{0.1, 10}
+	costs := []float64{0.0001, 2}
+	var withCheck, densityOnly float64
+	for i := 0; i < b.N; i++ {
+		res, err := knapsack.Greedy(values, costs, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		withCheck = res.Value
+		densityOnly = 0.1 // what pure density greedy would keep
+	}
+	if b.N > 0 {
+		b.ReportMetric(withCheck/densityOnly, "quality-ratio")
+	}
+}
+
+// BenchmarkAblationEVCache measures the per-term mask memoization that
+// makes Best/OPT affordable: repeated EV calls over related subsets.
+func BenchmarkAblationEVCache(b *testing.B) {
+	db, g := uniqWorkload(40)
+	sets := make([]model.Set, 0, 40)
+	for o := 0; o < db.N(); o++ {
+		sets = append(sets, model.NewSet(o))
+	}
+	b.Run("warm", func(b *testing.B) {
+		engine, err := ev.NewGroupEngine(db, g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, T := range sets {
+			engine.EV(T) // warm the caches
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, T := range sets {
+				engine.EV(T)
+			}
+		}
+	})
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			engine, err := ev.NewGroupEngine(db, g)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, T := range sets {
+				engine.EV(T)
+			}
+		}
+	})
+}
+
+// BenchmarkSelectFacade measures the end-to-end public API path.
+func BenchmarkSelectFacade(b *testing.B) {
+	db, _ := uniqWorkload(40)
+	w := expt.SyntheticUniquenessFromDB(db, 100)
+	for i := 0; i < b.N; i++ {
+		engine, err := ev.NewGroupEngine(db, w.Set.Dup())
+		if err != nil {
+			b.Fatal(err)
+		}
+		sel, err := core.NewGreedyEngine("greedy", db, engine)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sel.Select(db.Budget(0.25)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

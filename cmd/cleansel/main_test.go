@@ -1,0 +1,117 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sampleSpec = `{
+  "objects": [
+    {"name": "crimes/2016", "current": 9300, "cost": 2,
+     "values": [9200, 9300, 9400], "probs": [0.25, 0.5, 0.25]},
+    {"name": "crimes/2017", "current": 9125, "cost": 1,
+     "values": [9025, 9125, 9225], "probs": [0.25, 0.5, 0.25]},
+    {"name": "crimes/2018", "current": 9430, "cost": 1,
+     "normal": {"mean": 9430, "sigma": 80}}
+  ],
+  "claim": {"name": "orig", "coef": {"2": 1, "1": -1}},
+  "direction": "higher",
+  "reference": 300,
+  "perturbations": [
+    {"claim": {"name": "p1", "coef": {"1": 1, "0": -1}}, "sensibility": 1},
+    {"claim": {"name": "p2", "coef": {"2": 1, "1": -1}}, "sensibility": 1}
+  ],
+  "measure": "uniqueness",
+  "goal": "minvar",
+  "algorithm": "greedy",
+  "budget": 3
+}`
+
+func parseSpec(t *testing.T, raw string) taskSpec {
+	t.Helper()
+	var spec taskSpec
+	dec := json.NewDecoder(strings.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+func TestSolveUniqueness(t *testing.T) {
+	out, err := solve(parseSpec(t, sampleSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.CostSpent > 3 {
+		t.Fatalf("over budget: %+v", out)
+	}
+	if out.Before < out.After {
+		t.Fatalf("uncertainty rose: %+v", out)
+	}
+	if len(out.Chosen) != len(out.IDs) {
+		t.Fatalf("names/ids mismatch: %+v", out)
+	}
+}
+
+func TestSolveMaxPr(t *testing.T) {
+	spec := parseSpec(t, sampleSpec)
+	spec.Measure = "fairness"
+	spec.Goal = "maxpr"
+	spec.Tau = 20
+	out, err := solve(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.After < 0 || out.After > 1 {
+		t.Fatalf("probability out of range: %+v", out)
+	}
+}
+
+func TestSolveAlgorithms(t *testing.T) {
+	for _, algo := range []string{"greedy", "optimum", "best", "naive", "random", ""} {
+		spec := parseSpec(t, sampleSpec)
+		spec.Measure = "fairness"
+		spec.Algorithm = algo
+		if _, err := solve(spec); err != nil {
+			t.Fatalf("algorithm %q: %v", algo, err)
+		}
+	}
+}
+
+func TestSolveRejectsBadSpecs(t *testing.T) {
+	cases := []func(*taskSpec){
+		func(s *taskSpec) { s.Objects[0].Values = nil; s.Objects[0].Probs = nil },
+		func(s *taskSpec) { s.Direction = "sideways" },
+		func(s *taskSpec) { s.Measure = "vibes" },
+		func(s *taskSpec) { s.Goal = "maximin" },
+		func(s *taskSpec) { s.Algorithm = "quantum" },
+		func(s *taskSpec) { s.Claim.Coef = map[string]float64{"99": 1} },
+		func(s *taskSpec) { s.Claim.Coef = map[string]float64{"x": 1} },
+		func(s *taskSpec) { s.Perturbations = nil },
+	}
+	for i, mutate := range cases {
+		spec := parseSpec(t, sampleSpec)
+		mutate(&spec)
+		if _, err := solve(spec); err == nil {
+			t.Fatalf("case %d: bad spec accepted", i)
+		}
+	}
+}
+
+func TestSolveDefaultReference(t *testing.T) {
+	spec := parseSpec(t, sampleSpec)
+	spec.Reference = nil // defaults to the claim value at current values
+	if _, err := solve(spec); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveLowerDirection(t *testing.T) {
+	spec := parseSpec(t, sampleSpec)
+	spec.Direction = "lower"
+	if _, err := solve(spec); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,91 @@
+// Command repro regenerates the paper's figures and in-text experiments.
+//
+// Usage:
+//
+//	repro -list
+//	repro -fig fig1 [-scale small|paper] [-seed 42] [-csv out/]
+//	repro -fig all -scale paper
+//
+// Each experiment prints one ASCII table per figure; -csv additionally
+// writes long-format CSV files (one per figure) into the given directory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/factcheck/cleansel/internal/expt"
+)
+
+func main() {
+	var (
+		figFlag   = flag.String("fig", "", "experiment id (e.g. fig1, fig11, counters, thm39), comma list, or 'all'")
+		scaleFlag = flag.String("scale", "small", "experiment scale: small or paper")
+		seedFlag  = flag.Uint64("seed", 42, "deterministic seed")
+		csvFlag   = flag.String("csv", "", "directory to write per-figure CSV files (optional)")
+		listFlag  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *listFlag {
+		for _, id := range expt.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	if *figFlag == "" {
+		fmt.Fprintln(os.Stderr, "repro: -fig is required (or -list); e.g. -fig fig1")
+		os.Exit(2)
+	}
+	scale, err := expt.ParseScale(*scaleFlag)
+	if err != nil {
+		fatal(err)
+	}
+	var ids []string
+	if *figFlag == "all" {
+		ids = expt.IDs()
+	} else {
+		for _, id := range strings.Split(*figFlag, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
+	}
+	if *csvFlag != "" {
+		if err := os.MkdirAll(*csvFlag, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+	for _, id := range ids {
+		figs, err := expt.Run(id, scale, *seedFlag)
+		if err != nil {
+			fatal(err)
+		}
+		for _, fig := range figs {
+			if err := fig.Render(os.Stdout); err != nil {
+				fatal(err)
+			}
+			fmt.Println()
+			if *csvFlag != "" {
+				path := filepath.Join(*csvFlag, fig.ID+".csv")
+				f, err := os.Create(path)
+				if err != nil {
+					fatal(err)
+				}
+				if err := fig.WriteCSV(f); err != nil {
+					f.Close()
+					fatal(err)
+				}
+				if err := f.Close(); err != nil {
+					fatal(err)
+				}
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "repro:", err)
+	os.Exit(1)
+}

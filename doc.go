@@ -1,0 +1,35 @@
+// Package cleansel decides which uncertain values a fact-checker should
+// clean under a cost budget, implementing
+//
+//	Sintos, Agarwal, Yang. "Selecting Data to Clean for Fact Checking:
+//	Minimizing Uncertainty vs. Maximizing Surprise." (VLDB 2019)
+//
+// A claim is a (linear) query over a database of uncertain values. Its
+// quality is assessed against a set of perturbations — nearby variants of
+// the claim weighted by sensibility — through three measures: fairness
+// (bias), uniqueness (duplicity), and robustness (fragility). Cleaning a
+// value reveals its true realization at a cost. Two selection objectives
+// compete:
+//
+//   - MinVar: minimize the expected variance remaining in a quality
+//     measure after cleaning — ascertain the claim's quality.
+//   - MaxPr: maximize the probability that cleaning shifts the measure
+//     enough to expose a counterargument — counter the claim.
+//
+// The top-level API mirrors that workflow:
+//
+//	db := cleansel.NewDB([]cleansel.Object{...})
+//	orig := cleansel.WindowComparison("claim", 0, 4, 4)
+//	set, _ := cleansel.NewPerturbationSet(orig, cleansel.HigherIsStronger, ref, perturbs)
+//	res, _ := cleansel.Select(cleansel.Task{
+//	    DB: db, Claims: set,
+//	    Measure: cleansel.Fairness, Goal: cleansel.MinimizeUncertainty,
+//	    Algorithm: cleansel.AlgoGreedy, Budget: db.Budget(0.2),
+//	})
+//	fmt.Println(res.Chosen, res.Before, res.After)
+//
+// The embedded evaluation datasets (Adoptions, CDC-firearms, CDC-causes)
+// and the paper's synthetic generators (URx, LNx, SMx) are exposed for
+// experimentation, and cmd/repro regenerates every figure of the paper's
+// evaluation section.
+package cleansel

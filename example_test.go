@@ -1,0 +1,109 @@
+package cleansel_test
+
+import (
+	"fmt"
+	"log"
+
+	cleansel "github.com/factcheck/cleansel"
+)
+
+// Example 5 of the paper: two uncertain values, current values (1, 1),
+// and the claim X1 + X2. Minimizing uncertainty cleans X1; maximizing the
+// chance of a counterargument (threshold 17/12, i.e. τ = 7/12) cleans X2.
+func ExampleSelect() {
+	db := cleansel.NewDB([]cleansel.Object{
+		{Name: "x1", Current: 1, Cost: 1, Value: cleansel.UniformOver([]float64{0, 0.5, 1, 1.5, 2})},
+		{Name: "x2", Current: 1, Cost: 1, Value: cleansel.UniformOver([]float64{1.0 / 3, 1, 5.0 / 3})},
+	})
+	orig := cleansel.NewClaim("sum", 0, map[int]float64{0: 1, 1: 1})
+	set, err := cleansel.NewPerturbationSet(orig, cleansel.HigherIsStronger,
+		orig.Eval(db.Currents()), []cleansel.Perturbed{{Claim: orig, Sensibility: 1}})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	minvar, err := cleansel.Select(cleansel.Task{
+		DB: db, Claims: set,
+		Measure: cleansel.Fairness, Goal: cleansel.MinimizeUncertainty,
+		Algorithm: cleansel.AlgoOptimum, Budget: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	maxpr, err := cleansel.Select(cleansel.Task{
+		DB: db, Claims: set,
+		Measure: cleansel.Fairness, Goal: cleansel.MaximizeSurprise,
+		Budget: 1, Tau: 7.0 / 12.0,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("MinVar cleans:", minvar.Chosen)
+	fmt.Println("MaxPr cleans: ", maxpr.Chosen)
+	fmt.Printf("MaxPr counter probability: %.3f\n", maxpr.After)
+	// Output:
+	// MinVar cleans: [x1]
+	// MaxPr cleans:  [x2]
+	// MaxPr counter probability: 0.333
+}
+
+// Assessing Example 2's crime claim: the year-over-year increase of 305
+// is technically above the asserted 300, but context weakens it.
+func ExampleAssessClaim() {
+	counts := []float64{9010, 9275, 9300, 9125, 9430}
+	objs := make([]cleansel.Object, len(counts))
+	for i, c := range counts {
+		objs[i] = cleansel.Object{
+			Name: fmt.Sprintf("y%d", 2014+i), Current: c, Cost: 1,
+			Value: cleansel.UniformOver([]float64{c - 100, c, c + 100}),
+		}
+	}
+	db := cleansel.NewDB(objs)
+	orig := cleansel.WindowComparison("2018-vs-2017", 3, 4, 1)
+	var perturbs []cleansel.Perturbed
+	for s := 0; s < 3; s++ {
+		perturbs = append(perturbs, cleansel.Perturbed{
+			Claim: cleansel.WindowComparison("cmp", s, s+1, 1), Sensibility: 1,
+		})
+	}
+	set, err := cleansel.NewPerturbationSet(orig, cleansel.HigherIsStronger, 300, perturbs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := cleansel.AssessClaim(db, set)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("claimed increase: %.0f\n", orig.Eval(db.Currents()))
+	fmt.Printf("duplicity: %d of %d perturbations\n", rep.Duplicity, rep.Perturbations)
+	fmt.Printf("bias: %.1f (negative = claim exaggerates vs context)\n", rep.Bias)
+	// Output:
+	// claimed increase: 305
+	// duplicity: 0 of 3 perturbations
+	// bias: -261.7 (negative = claim exaggerates vs context)
+}
+
+// Ranking objects by standalone benefit-per-cost for the uniqueness
+// measure — the diagnostic behind the greedy's choices.
+func ExampleRankObjects() {
+	db := cleansel.NewDB([]cleansel.Object{
+		{Name: "stable", Current: 10, Cost: 1, Value: cleansel.UniformOver([]float64{9, 10, 11})},
+		{Name: "volatile", Current: 10, Cost: 1, Value: cleansel.UniformOver([]float64{2, 10, 18})},
+	})
+	orig := cleansel.WindowSum("orig", 0, 2)
+	set, err := cleansel.NewPerturbationSet(orig, cleansel.LowerIsStronger, 20,
+		[]cleansel.Perturbed{{Claim: orig, Sensibility: 1}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ranked, err := cleansel.RankObjects(db, set, cleansel.Uniqueness)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, o := range ranked {
+		fmt.Printf("%s: benefit %.3f\n", o.Name, o.Benefit)
+	}
+	// Output:
+	// volatile: benefit 0.173
+	// stable: benefit 0.025
+}

@@ -1,0 +1,82 @@
+// Cdcinjuries walks the §4.2/§4.5 CDC workloads: checking the uniqueness
+// and robustness of "injury counts over the last two years were as low/
+// high as Γ" claims against the firearm-injury series, and showing how
+// correlated errors change what is worth cleaning (GreedyDep).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	cleansel "github.com/factcheck/cleansel"
+)
+
+func main() {
+	// --- Uniqueness of "the last two years were as low as Γ".
+	db := cleansel.CDCFirearms(42).Discretized(6)
+	years := db.N()
+	orig := cleansel.WindowSum("last-2y", years-2, 2)
+	perturbs := cleansel.NonOverlappingWindows("2y", years, 2, years-2, 1.0)
+	gamma := orig.Eval(db.Currents())
+	set, err := cleansel.NewPerturbationSet(orig, cleansel.LowerIsStronger, gamma, perturbs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("claim: last two years had %.0f firearm injuries (as low as ever?)\n", gamma)
+	for _, frac := range []float64{0.1, 0.3} {
+		res, err := cleansel.Select(cleansel.Task{
+			DB: db, Claims: set,
+			Measure: cleansel.Uniqueness, Goal: cleansel.MinimizeUncertainty,
+			Algorithm: cleansel.AlgoGreedy, Budget: db.Budget(frac),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  budget %3.0f%%: Var[duplicity] %.4f -> %.4f, clean %v\n",
+			frac*100, res.Before, res.After, res.Chosen)
+	}
+
+	// --- Robustness of "the last two years were as high as Γ'".
+	setHi, err := cleansel.NewPerturbationSet(orig, cleansel.HigherIsStronger, gamma, perturbs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := cleansel.Select(cleansel.Task{
+		DB: db, Claims: setHi,
+		Measure: cleansel.Robustness, Goal: cleansel.MinimizeUncertainty,
+		Algorithm: cleansel.AlgoBest, Budget: db.Budget(0.2),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nrobustness (Best, 20%% budget): Var[fragility] %.3g -> %.3g\n",
+		res.Before, res.After)
+
+	// --- Correlated errors (§4.5): neighbouring years' errors co-move.
+	raw := cleansel.CDCFirearms(42)
+	n := raw.N()
+	const rho = 0.7
+	if err := cleansel.WithDecayCovariance(raw, rho); err != nil {
+		log.Fatal(err)
+	}
+
+	origCmp := cleansel.WindowComparison("05-08-vs-01-04", 0, 4, 4)
+	spanPerturbs := cleansel.SlidingComparisons("span", n, 4, 0, 1.5)
+	setDep, err := cleansel.NewPerturbationSet(origCmp, cleansel.HigherIsStronger,
+		origCmp.Eval(raw.Currents()), spanPerturbs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dep, err := cleansel.Select(cleansel.Task{
+		DB: raw, Claims: setDep,
+		Measure: cleansel.Fairness, Goal: cleansel.MinimizeUncertainty,
+		Budget: raw.Budget(0.2),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwith γ=%.1f correlated errors, GreedyDep cleans %v\n", rho, dep.Chosen)
+	fmt.Printf("true fairness variance %.3g -> %.3g\n", dep.Before, dep.After)
+	fmt.Println("(cleaning one year now also shrinks its neighbours' uncertainty,")
+	fmt.Println(" so the dependency-aware greedy spreads its budget differently)")
+}

@@ -1,0 +1,85 @@
+// Crimewave reenacts Example 2 of the paper: the claim "crimes went up by
+// more than 300 cases from last year" over five years of uncertain crime
+// counts. It shows the full fact-checking loop — assess the claim's
+// quality measures, decide what to clean under each objective, and watch
+// how the choice differs between "understand the claim" and "counter the
+// claim".
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	cleansel "github.com/factcheck/cleansel"
+)
+
+func main() {
+	years := []int{2014, 2015, 2016, 2017, 2018}
+	counts := []float64{9010, 9275, 9300, 9125, 9430}
+
+	// Each count may be off by up to 120 cases; cleaning means calling the
+	// local agency, and older records cost more effort to verify.
+	objs := make([]cleansel.Object, len(counts))
+	for i, c := range counts {
+		vals := []float64{c - 120, c - 60, c, c + 60, c + 120}
+		objs[i] = cleansel.Object{
+			Name:    fmt.Sprintf("crimes/%d", years[i]),
+			Current: c,
+			Cost:    float64(len(counts) - i), // 2014 costs 5, 2018 costs 1
+			Value:   cleansel.UniformOver(vals),
+		}
+	}
+	db := cleansel.NewDB(objs)
+
+	// The claim compares 2018 against 2017 and asserts an increase > 300.
+	orig := cleansel.WindowComparison("2018-vs-2017", 3, 4, 1)
+	// Perturbations: the same year-over-year comparison for earlier years.
+	var perturbs []cleansel.Perturbed
+	for s := 0; s < 3; s++ {
+		perturbs = append(perturbs, cleansel.Perturbed{
+			Claim:       cleansel.WindowComparison(fmt.Sprintf("%d-vs-%d", years[s+1], years[s]), s, s+1, 1),
+			Sensibility: 1,
+		})
+	}
+	set, err := cleansel.NewPerturbationSet(orig, cleansel.HigherIsStronger, 300, perturbs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rep, err := cleansel.AssessClaim(db, set)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("claim: crimes rose %.0f (asserted: >300)\n", orig.Eval(db.Currents()))
+	fmt.Printf("at current values: duplicity %d/%d, bias %+.1f, fragility %.0f\n",
+		rep.Duplicity, rep.Perturbations, rep.Bias, rep.Fragility)
+	fmt.Printf("uncertainty: Var[duplicity]=%.3f Var[bias]=%.0f\n\n", rep.DupVariance, rep.BiasVariance)
+
+	fmt.Println("budget sweep — which years to clean?")
+	fmt.Printf("%-8s %-28s %-28s\n", "budget", "MinVar/uniqueness cleans", "MaxPr/counter cleans")
+	for _, budget := range []float64{2, 4, 6, 9} {
+		minvar, err := cleansel.Select(cleansel.Task{
+			DB: db, Claims: set,
+			Measure: cleansel.Uniqueness, Goal: cleansel.MinimizeUncertainty,
+			Algorithm: cleansel.AlgoGreedy, Budget: budget,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		maxpr, err := cleansel.Select(cleansel.Task{
+			DB: db, Claims: set,
+			Measure: cleansel.Fairness, Goal: cleansel.MaximizeSurprise,
+			Budget: budget, Tau: 30, Seed: 7,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8.0f %-28s %-28s\n", budget,
+			strings.Join(minvar.Chosen, ", "), strings.Join(maxpr.Chosen, ", "))
+	}
+
+	fmt.Println("\nNote how the counter-seeking objective gravitates to 2015: a small")
+	fmt.Println("upward revision there makes the 2014->2015 jump rival the claimed one,")
+	fmt.Println("exactly the intuition in Example 2 of the paper.")
+}

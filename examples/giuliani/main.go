@@ -1,0 +1,67 @@
+// Giuliani reproduces the §4.1 fairness workflow on the Adoptions
+// dataset: the window-aggregate-comparison claim "adoptions went up 65–70
+// percent" (1996–2001 vs 1990–1995), 18 span perturbations with
+// exponentially decaying sensibility, and a comparison of the selection
+// algorithms at several budgets — the workload behind Figure 1(a).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	cleansel "github.com/factcheck/cleansel"
+)
+
+func main() {
+	db := cleansel.Adoptions(42)
+
+	// Original claim: compare the back-to-back 4-year windows starting at
+	// 1989 (index 0). Perturbations slide the whole 8-year span.
+	orig := cleansel.WindowComparison("1993-96-vs-1989-92", 0, 4, 4)
+	all := cleansel.SlidingComparisons("span", db.N(), 4, 0, 1.5)
+	var perturbs []cleansel.Perturbed
+	for _, p := range all {
+		if p.Distance > 0 {
+			perturbs = append(perturbs, p)
+		}
+	}
+	set, err := cleansel.NewPerturbationSet(orig, cleansel.HigherIsStronger,
+		orig.Eval(db.Currents()), perturbs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("claim result at current values: %+.0f adoptions; %d perturbations\n\n",
+		orig.Eval(db.Currents()), set.M())
+
+	fmt.Printf("%-10s %-14s %-14s %-14s\n", "budget", "Naive", "GreedyMinVar", "Optimum")
+	for _, frac := range []float64{0.05, 0.1, 0.2, 0.4} {
+		row := []string{}
+		for _, algo := range []cleansel.Algorithm{cleansel.AlgoNaive, cleansel.AlgoGreedy, cleansel.AlgoOptimum} {
+			res, err := cleansel.Select(cleansel.Task{
+				DB: db, Claims: set,
+				Measure: cleansel.Fairness, Goal: cleansel.MinimizeUncertainty,
+				Algorithm: algo, Budget: db.Budget(frac),
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			row = append(row, fmt.Sprintf("%.1f", res.After))
+		}
+		fmt.Printf("%-10.2f %-14s %-14s %-14s\n", frac, row[0], row[1], row[2])
+	}
+	fmt.Println("\n(remaining variance in the fairness measure; lower is better —")
+	fmt.Println(" GreedyMinVar tracks the knapsack Optimum, the naive ranking lags)")
+
+	// Where does the first money go?
+	res, err := cleansel.Select(cleansel.Task{
+		DB: db, Claims: set,
+		Measure: cleansel.Fairness, Goal: cleansel.MinimizeUncertainty,
+		Algorithm: cleansel.AlgoGreedy, Budget: db.Budget(0.05),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwith 5%% of the budget GreedyMinVar cleans: %v\n", res.Chosen)
+	fmt.Printf("fairness variance drops %.0f -> %.0f (factor %.1f)\n",
+		res.Before, res.After, res.Before/res.After)
+}

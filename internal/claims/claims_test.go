@@ -1,0 +1,294 @@
+package claims
+
+import (
+	"math"
+	"testing"
+
+	"github.com/factcheck/cleansel/internal/numeric"
+)
+
+func TestClaimEvalAndVars(t *testing.T) {
+	c := NewClaim("q", 3, map[int]float64{0: 1, 2: -2, 5: 0})
+	x := []float64{10, 0, 4, 0, 0, 0}
+	if got := c.Eval(x); got != 3+10-8 {
+		t.Fatalf("Eval = %v", got)
+	}
+	vars := c.Vars()
+	if len(vars) != 2 || vars[0] != 0 || vars[1] != 2 {
+		t.Fatalf("Vars = %v", vars)
+	}
+}
+
+func TestWindowSum(t *testing.T) {
+	c := WindowSum("w", 2, 3)
+	x := []float64{1, 2, 4, 8, 16, 32}
+	if got := c.Eval(x); got != 4+8+16 {
+		t.Fatalf("window sum = %v", got)
+	}
+}
+
+func TestWindowComparison(t *testing.T) {
+	// Example 2 shape: X2018 − X2017 is a comparison of 1-windows.
+	c := WindowComparison("cmp", 3, 4, 1)
+	x := []float64{0, 0, 0, 9125, 9430}
+	if got := c.Eval(x); got != 305 {
+		t.Fatalf("comparison = %v, want 305", got)
+	}
+	// Overlapping windows cancel coefficients.
+	c2 := WindowComparison("overlap", 0, 1, 2) // -[0,1] + [1,2]
+	if c2.Coef[1] != 0 && len(c2.Vars()) != 2 {
+		t.Fatalf("overlap handling wrong: %+v", c2.Coef)
+	}
+	x2 := []float64{5, 7, 11}
+	if got := c2.Eval(x2); got != 11-5 {
+		t.Fatalf("overlapping comparison = %v, want 6", got)
+	}
+}
+
+func mustSet(t *testing.T, orig *Claim, dir Direction, ref float64, ps []Perturbed) *Set {
+	t.Helper()
+	s, err := NewSet(orig, dir, ref, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewSetNormalizesSensibilities(t *testing.T) {
+	orig := WindowSum("orig", 0, 1)
+	ps := []Perturbed{
+		{Claim: WindowSum("a", 0, 1), Sensibility: 2},
+		{Claim: WindowSum("b", 1, 1), Sensibility: 6},
+	}
+	s := mustSet(t, orig, HigherIsStronger, 0, ps)
+	if !numeric.AlmostEqual(s.Perturbs[0].Sensibility, 0.25, 1e-12) ||
+		!numeric.AlmostEqual(s.Perturbs[1].Sensibility, 0.75, 1e-12) {
+		t.Fatalf("sensibilities %v %v", s.Perturbs[0].Sensibility, s.Perturbs[1].Sensibility)
+	}
+	// Input slice must not be mutated.
+	if ps[0].Sensibility != 2 {
+		t.Fatal("NewSet mutated its input")
+	}
+}
+
+func TestNewSetRejectsBadInput(t *testing.T) {
+	orig := WindowSum("orig", 0, 1)
+	if _, err := NewSet(orig, HigherIsStronger, 0, nil); err == nil {
+		t.Fatal("empty set accepted")
+	}
+	if _, err := NewSet(orig, HigherIsStronger, 0, []Perturbed{
+		{Claim: orig, Sensibility: -1},
+	}); err == nil {
+		t.Fatal("negative sensibility accepted")
+	}
+	if _, err := NewSet(orig, HigherIsStronger, 0, []Perturbed{
+		{Claim: orig, Sensibility: 0},
+	}); err == nil {
+		t.Fatal("all-zero sensibilities accepted")
+	}
+}
+
+func TestDeltaDirections(t *testing.T) {
+	orig := WindowSum("orig", 0, 1)
+	p := []Perturbed{{Claim: WindowSum("p", 1, 1), Sensibility: 1}}
+	x := []float64{10, 13}
+
+	hi := mustSet(t, orig, HigherIsStronger, 10, p)
+	if got := hi.Delta(0, x); got != 3 {
+		t.Fatalf("higher-is-stronger delta = %v, want 3", got)
+	}
+	lo := mustSet(t, orig, LowerIsStronger, 10, p)
+	if got := lo.Delta(0, x); got != -3 {
+		t.Fatalf("lower-is-stronger delta = %v, want -3", got)
+	}
+}
+
+// Example 5 of the paper: Q = {q◦}, bias(q◦(u), X) = X1 + X2 − 2.
+func TestBiasExample5(t *testing.T) {
+	orig := NewClaim("q", 0, map[int]float64{0: 1, 1: 1})
+	s := mustSet(t, orig, HigherIsStronger, 2, []Perturbed{{Claim: orig, Sensibility: 1}})
+	bias := s.Bias()
+	if !numeric.AlmostEqual(bias.Const, -2, 1e-12) {
+		t.Fatalf("bias const = %v, want -2", bias.Const)
+	}
+	if bias.CoefAt(0) != 1 || bias.CoefAt(1) != 1 {
+		t.Fatalf("bias coefs wrong: %+v", bias.Coef)
+	}
+	if got := bias.Eval([]float64{1, 1}); got != 0 {
+		t.Fatalf("bias at current values = %v, want 0", got)
+	}
+}
+
+func TestBiasAggregatesSensibilities(t *testing.T) {
+	orig := WindowSum("orig", 0, 2)
+	ps := []Perturbed{
+		{Claim: WindowSum("a", 0, 2), Sensibility: 0.5},
+		{Claim: WindowSum("b", 1, 2), Sensibility: 0.5},
+	}
+	s := mustSet(t, orig, HigherIsStronger, 5, ps)
+	bias := s.Bias()
+	// Coefficients: X0: 0.5, X1: 0.5+0.5, X2: 0.5; const: −5.
+	if !numeric.AlmostEqual(bias.CoefAt(0), 0.5, 1e-12) ||
+		!numeric.AlmostEqual(bias.CoefAt(1), 1.0, 1e-12) ||
+		!numeric.AlmostEqual(bias.CoefAt(2), 0.5, 1e-12) {
+		t.Fatalf("bias coefs: %+v", bias.Coef)
+	}
+	if !numeric.AlmostEqual(bias.Const, -5, 1e-12) {
+		t.Fatalf("bias const: %v", bias.Const)
+	}
+}
+
+func TestDupCountsStrongPerturbations(t *testing.T) {
+	orig := WindowSum("orig", 0, 1)
+	ps := []Perturbed{
+		{Claim: WindowSum("a", 0, 1), Sensibility: 1},
+		{Claim: WindowSum("b", 1, 1), Sensibility: 1},
+		{Claim: WindowSum("c", 2, 1), Sensibility: 1},
+	}
+	// Lower is stronger, ref = 10: count values <= 10.
+	s := mustSet(t, orig, LowerIsStronger, 10, ps)
+	dup := s.Dup()
+	x := []float64{9, 10, 11}
+	if got := dup.Eval(x); got != 2 {
+		t.Fatalf("dup = %v, want 2 (9 and the boundary 10)", got)
+	}
+	if got := s.DupValue(x); got != 2 {
+		t.Fatalf("DupValue = %v, want 2", got)
+	}
+}
+
+func TestFragPenalizesWeakeningOnly(t *testing.T) {
+	orig := WindowSum("orig", 0, 1)
+	ps := []Perturbed{
+		{Claim: WindowSum("a", 0, 1), Sensibility: 1},
+		{Claim: WindowSum("b", 1, 1), Sensibility: 3},
+	}
+	// Higher is stronger, ref = 10.
+	s := mustSet(t, orig, HigherIsStronger, 10, ps)
+	frag := s.Frag()
+	// x0 = 13 strengthens (no penalty); x1 = 8 weakens by 2 → s·Δ² = 0.75·4.
+	got := frag.Eval([]float64{13, 8})
+	if !numeric.AlmostEqual(got, 3, 1e-12) {
+		t.Fatalf("frag = %v, want 3", got)
+	}
+	// All strengthening: zero fragility.
+	if got := frag.Eval([]float64{11, 10}); got != 0 {
+		t.Fatalf("frag = %v, want 0", got)
+	}
+}
+
+func TestHasCounter(t *testing.T) {
+	orig := WindowSum("orig", 0, 1)
+	ps := []Perturbed{
+		{Claim: WindowSum("a", 0, 1), Sensibility: 1},
+		{Claim: WindowSum("b", 1, 1), Sensibility: 1},
+	}
+	s := mustSet(t, orig, HigherIsStronger, 10, ps)
+	if !s.HasCounter([]float64{10, 7}, 2) {
+		t.Fatal("Δ = −3 < −2 should be a counter")
+	}
+	if s.HasCounter([]float64{10, 9}, 2) {
+		t.Fatal("Δ = −1 should not counter with margin 2")
+	}
+}
+
+func TestExponentialSensibility(t *testing.T) {
+	if ExponentialSensibility(1.5, 0) != 1 {
+		t.Fatal("zero distance should give 1")
+	}
+	if !numeric.AlmostEqual(ExponentialSensibility(1.5, 2), math.Exp(-3), 1e-12) {
+		t.Fatal("decay wrong")
+	}
+}
+
+func TestSlidingComparisons(t *testing.T) {
+	// 26 years, windows of 4: spans at starts 0..18 → 19 claims
+	// (the Giuliani setting: original + 18 perturbations).
+	ps := SlidingComparisons("p", 26, 4, 4, 1.5)
+	if len(ps) != 19 {
+		t.Fatalf("got %d spans, want 19", len(ps))
+	}
+	// The span at the original start has max sensibility.
+	best := 0
+	for i := range ps {
+		if ps[i].Sensibility > ps[best].Sensibility {
+			best = i
+		}
+	}
+	if ps[best].Distance != 0 {
+		t.Fatalf("closest span should have distance 0, got %v", ps[best].Distance)
+	}
+	// Every claim references 8 objects.
+	for _, p := range ps {
+		if len(p.Claim.Vars()) != 8 {
+			t.Fatalf("claim %s references %d objects", p.Claim.Name, len(p.Claim.Vars()))
+		}
+	}
+}
+
+func TestNonOverlappingWindows(t *testing.T) {
+	ps := NonOverlappingWindows("w", 40, 4, 36, 0.5)
+	if len(ps) != 10 {
+		t.Fatalf("got %d windows, want 10", len(ps))
+	}
+	seen := map[int]bool{}
+	for _, p := range ps {
+		for _, v := range p.Claim.Vars() {
+			if seen[v] {
+				t.Fatalf("windows overlap at %d", v)
+			}
+			seen[v] = true
+		}
+	}
+	if len(seen) != 40 {
+		t.Fatalf("windows cover %d of 40 objects", len(seen))
+	}
+}
+
+func TestSlidingWindows(t *testing.T) {
+	ps := SlidingWindows("w", 17, 2, 15, 1)
+	if len(ps) != 16 {
+		t.Fatalf("got %d windows, want 16", len(ps))
+	}
+}
+
+func TestSetVars(t *testing.T) {
+	orig := WindowSum("orig", 0, 2)
+	ps := []Perturbed{
+		{Claim: WindowSum("a", 0, 2), Sensibility: 1},
+		{Claim: WindowSum("b", 3, 2), Sensibility: 1},
+	}
+	s := mustSet(t, orig, HigherIsStronger, 0, ps)
+	vars := s.Vars()
+	want := []int{0, 1, 3, 4}
+	if len(vars) != len(want) {
+		t.Fatalf("vars %v", vars)
+	}
+	for i := range want {
+		if vars[i] != want[i] {
+			t.Fatalf("vars %v, want %v", vars, want)
+		}
+	}
+}
+
+func TestDegree(t *testing.T) {
+	orig := WindowSum("orig", 0, 2)
+	// Three claims: a overlaps b, b overlaps c, a and c disjoint.
+	ps := []Perturbed{
+		{Claim: WindowSum("a", 0, 2), Sensibility: 1},
+		{Claim: WindowSum("b", 1, 2), Sensibility: 1},
+		{Claim: WindowSum("c", 2, 2), Sensibility: 1},
+	}
+	s := mustSet(t, orig, HigherIsStronger, 0, ps)
+	if got := s.Degree(); got != 2 {
+		t.Fatalf("degree = %d, want 2 (claim b overlaps both others)", got)
+	}
+	// Disjoint windows → degree 0.
+	s2 := mustSet(t, orig, HigherIsStronger, 0, []Perturbed{
+		{Claim: WindowSum("a", 0, 2), Sensibility: 1},
+		{Claim: WindowSum("b", 2, 2), Sensibility: 1},
+	})
+	if got := s2.Degree(); got != 0 {
+		t.Fatalf("degree = %d, want 0", got)
+	}
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"errors"
+
+	"github.com/factcheck/cleansel/internal/dist"
+	"github.com/factcheck/cleansel/internal/maxpr"
+	"github.com/factcheck/cleansel/internal/model"
+	"github.com/factcheck/cleansel/internal/query"
+)
+
+// AdaptiveMaxPr implements the paper's second future-work direction: an
+// algorithm that adapts its cleaning actions to the outcomes of earlier
+// actions. Instead of committing a whole subset upfront, it repeatedly
+//
+//  1. evaluates, on the database as currently known, the one-step MaxPr
+//     benefit of each affordable object,
+//  2. cleans the best one and *observes* the revealed true value,
+//  3. updates the database (the revealed value becomes the current value
+//     with zero remaining uncertainty) and repeats,
+//
+// stopping when the budget is exhausted, no step improves the objective,
+// or a counterargument has already materialized (the weakened measure
+// crosses the original threshold without any remaining uncertainty).
+//
+// It is a simulator as much as a selector: Run needs the hidden ground
+// truth to reveal, so it belongs to the §4.3-style in-action experiments.
+type AdaptiveMaxPr struct {
+	db   *model.DB
+	f    *query.Affine
+	tau  float64
+	eval func(db *model.DB) (maxpr.Evaluator, error)
+}
+
+// NewAdaptiveMaxPr builds the policy for an affine query function with
+// evaluators rebuilt by the given factory after every observation (the
+// factory sees the updated database).
+func NewAdaptiveMaxPr(db *model.DB, f *query.Affine, tau float64,
+	eval func(db *model.DB) (maxpr.Evaluator, error)) (*AdaptiveMaxPr, error) {
+	if db == nil {
+		return nil, errNilDB
+	}
+	if eval == nil {
+		return nil, errors.New("core: nil evaluator factory")
+	}
+	return &AdaptiveMaxPr{db: db, f: f, tau: tau, eval: eval}, nil
+}
+
+// Name identifies the policy.
+func (a *AdaptiveMaxPr) Name() string { return "AdaptiveMaxPr" }
+
+// Trace records one adaptive run.
+type Trace struct {
+	// Cleaned lists the objects in the order they were cleaned.
+	Cleaned []int
+	// CostSpent is the total cost consumed.
+	CostSpent float64
+	// Achieved is the realized drop f(u₀) − f(u_final) in the query value
+	// after all observations (positive = the measure fell).
+	Achieved float64
+	// Countered reports whether the realized drop exceeded tau.
+	Countered bool
+}
+
+// Run executes the policy against the hidden truth vector (indexed by
+// object ID) under the given budget. The caller's database is not
+// mutated.
+func (a *AdaptiveMaxPr) Run(truth []float64, budget float64) (Trace, error) {
+	if err := validateBudget(budget); err != nil {
+		return Trace{}, err
+	}
+	if len(truth) != a.db.N() {
+		return Trace{}, errors.New("core: truth length mismatch")
+	}
+	// Working copy: values collapse to point masses as they are revealed.
+	objs := append([]model.Object(nil), a.db.Objects...)
+	work := &model.DB{Objects: objs}
+	baseline := a.f.Eval(a.db.Currents())
+
+	var tr Trace
+	remaining := budget
+	cleaned := make([]bool, work.N())
+	for {
+		eval, err := a.eval(work)
+		if err != nil {
+			return Trace{}, err
+		}
+		best, bestR := -1, 0.0
+		for o := 0; o < work.N(); o++ {
+			if cleaned[o] || !fitsBudget(0, work.Objects[o].Cost, remaining) {
+				continue
+			}
+			p := eval.Prob(model.NewSet(o))
+			if p <= 0 {
+				continue
+			}
+			if r := ratio(p, work.Objects[o].Cost); r > bestR {
+				best, bestR = o, r
+			}
+		}
+		if best < 0 {
+			break
+		}
+		// Clean and observe.
+		cleaned[best] = true
+		remaining -= work.Objects[best].Cost
+		tr.CostSpent += work.Objects[best].Cost
+		tr.Cleaned = append(tr.Cleaned, best)
+		objs[best].Current = truth[best]
+		objs[best].Value = pointValue(truth[best])
+		// Early exit: the counter already materialized with certainty.
+		if baseline-a.f.Eval(work.Currents()) > a.tau {
+			break
+		}
+	}
+	tr.Achieved = baseline - a.f.Eval(work.Currents())
+	tr.Countered = tr.Achieved > a.tau
+	return tr, nil
+}
+
+// pointValue builds a zero-variance value model at v.
+func pointValue(v float64) model.Value { return dist.PointMass(v) }

@@ -1,0 +1,319 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/factcheck/cleansel/internal/dist"
+	"github.com/factcheck/cleansel/internal/ev"
+	"github.com/factcheck/cleansel/internal/maxpr"
+	"github.com/factcheck/cleansel/internal/model"
+	"github.com/factcheck/cleansel/internal/numeric"
+	"github.com/factcheck/cleansel/internal/query"
+	"github.com/factcheck/cleansel/internal/rng"
+)
+
+// --- Partial cleaning (future work #3) ---------------------------------------
+
+func TestPartialModularReducesToExact(t *testing.T) {
+	db := exampleDB()
+	f := query.NewAffine(0, map[int]float64{0: 1, 1: 1})
+	zero := []float64{0, 0}
+	pm, err := ev.NewPartialModular(db, f, zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := ev.NewModular(db, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, T := range []model.Set{nil, model.NewSet(0), model.NewSet(0, 1)} {
+		if got, want := pm.EV(T), exact.EV(T); !numeric.AlmostEqual(got, want, 1e-12) {
+			t.Fatalf("rho=0 should equal exact cleaning: %v vs %v", got, want)
+		}
+	}
+}
+
+func TestPartialModularResidual(t *testing.T) {
+	db := exampleDB()
+	f := query.NewAffine(0, map[int]float64{0: 1, 1: 1})
+	// Cleaning x1 halves its σ (ρ=0.5): benefit is (1−0.25)·Var[X1].
+	pm, err := ev.NewPartialModular(db, f, []float64{0.5, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	varX1, varX2 := 0.5, 8.0/27.0
+	if got, want := pm.Variance(), varX1+varX2; !numeric.AlmostEqual(got, want, 1e-12) {
+		t.Fatalf("variance %v want %v", got, want)
+	}
+	if got, want := pm.EV(model.NewSet(0)), 0.25*varX1+varX2; !numeric.AlmostEqual(got, want, 1e-12) {
+		t.Fatalf("EV after partial clean %v want %v", got, want)
+	}
+	// ρ=1 makes cleaning useless.
+	if got, want := pm.EV(model.NewSet(1)), varX1+varX2; !numeric.AlmostEqual(got, want, 1e-12) {
+		t.Fatalf("useless clean changed EV: %v want %v", got, want)
+	}
+	// Benefits feed the ordinary modular machinery.
+	b := pm.Benefits()
+	if !numeric.AlmostEqual(b[0], 0.75*varX1, 1e-12) || b[1] != 0 {
+		t.Fatalf("benefits %v", b)
+	}
+}
+
+func TestPartialModularValidation(t *testing.T) {
+	db := exampleDB()
+	f := query.NewAffine(0, map[int]float64{0: 1})
+	if _, err := ev.NewPartialModular(db, f, []float64{0.5}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := ev.NewPartialModular(db, f, []float64{-0.1, 0}); err == nil {
+		t.Fatal("negative residual accepted")
+	}
+	if _, err := ev.NewPartialModular(db, f, []float64{1.5, 0}); err == nil {
+		t.Fatal("residual > 1 accepted")
+	}
+}
+
+// Partial-cleaning selection: greedy over the effective benefits must
+// prefer the object whose cleaning actually removes more uncertainty.
+func TestPartialCleaningSelection(t *testing.T) {
+	db := exampleDB()
+	f := query.NewAffine(0, map[int]float64{0: 1, 1: 1})
+	// x1 has higher variance but cleaning it barely helps (ρ=0.95);
+	// x2 is fully cleanable.
+	pm, err := ev.NewPartialModular(db, f, []float64{0.95, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := NewOptimumWeights(db, pm.Benefits(), 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	T := selectT(t, opt, 1)
+	if len(T) != 1 || !T.Has(1) {
+		t.Fatalf("partial-cleaning optimum chose %v, want {x2}", T)
+	}
+}
+
+// --- Adaptive MaxPr (future work #2) ------------------------------------------
+
+func adaptiveTestDB(t *testing.T) *model.DB {
+	t.Helper()
+	mk := func(mu, sigma float64) dist.Normal {
+		n, err := dist.NewNormal(mu, sigma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	return model.New([]model.Object{
+		{Name: "a", Cost: 1, Current: 10, Value: mk(10, 3)},
+		{Name: "b", Cost: 1, Current: 10, Value: mk(10, 2)},
+		{Name: "c", Cost: 1, Current: 10, Value: mk(10, 1)},
+	})
+}
+
+func normalFactory(f *query.Affine, tau float64) func(db *model.DB) (maxpr.Evaluator, error) {
+	return func(db *model.DB) (maxpr.Evaluator, error) {
+		// Revealed objects become point masses; use the generic hybrid
+		// path only when needed — here a mixed DB falls back to MC.
+		if _, ok := db.Normals(); ok {
+			return maxpr.NewNormalAffine(db, f, tau)
+		}
+		return maxpr.NewMonteCarlo(db, f, tau, 4000, rng.New(99))
+	}
+}
+
+func TestAdaptiveMaxPrFindsCounter(t *testing.T) {
+	db := adaptiveTestDB(t)
+	f := query.NewAffine(0, map[int]float64{0: 1, 1: 1, 2: 1})
+	tau := 2.0
+	ad, err := NewAdaptiveMaxPr(db, f, tau, normalFactory(f, tau))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truth: object a is far below its current value — the counter.
+	truth := []float64{4, 10, 10}
+	tr, err := ad.Run(truth, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Countered {
+		t.Fatalf("adaptive policy missed the counter: %+v", tr)
+	}
+	// The highest-variance object is cleaned first and suffices: the
+	// adaptive policy stops after one observation.
+	if len(tr.Cleaned) != 1 || tr.Cleaned[0] != 0 {
+		t.Fatalf("cleaned %v, want just object 0", tr.Cleaned)
+	}
+	if !numeric.AlmostEqual(tr.Achieved, 6, 1e-9) {
+		t.Fatalf("achieved drop %v, want 6", tr.Achieved)
+	}
+}
+
+func TestAdaptiveMaxPrStopsWithoutCounter(t *testing.T) {
+	db := adaptiveTestDB(t)
+	f := query.NewAffine(0, map[int]float64{0: 1, 1: 1, 2: 1})
+	tau := 2.0
+	ad, err := NewAdaptiveMaxPr(db, f, tau, normalFactory(f, tau))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truth exactly matches the current values: no counter exists.
+	tr, err := ad.Run([]float64{10, 10, 10}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Countered {
+		t.Fatalf("no counter exists but policy claims one: %+v", tr)
+	}
+	if tr.CostSpent > 3+1e-9 {
+		t.Fatalf("budget exceeded: %v", tr.CostSpent)
+	}
+}
+
+func TestAdaptiveMaxPrBudget(t *testing.T) {
+	db := adaptiveTestDB(t)
+	f := query.NewAffine(0, map[int]float64{0: 1, 1: 1, 2: 1})
+	ad, err := NewAdaptiveMaxPr(db, f, 100, normalFactory(f, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ad.Run([]float64{10, 10, 10}, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Cleaned) > 1 {
+		t.Fatalf("budget 1.5 allows one unit-cost cleaning, got %v", tr.Cleaned)
+	}
+	if _, err := ad.Run([]float64{1}, 1); err == nil {
+		t.Fatal("truth length mismatch accepted")
+	}
+	if _, err := ad.Run([]float64{10, 10, 10}, -1); err == nil {
+		t.Fatal("negative budget accepted")
+	}
+}
+
+// Adaptivity beats upfront commitment when early observations change
+// what is worth cleaning: the adaptive policy stops paying once the
+// counter is in hand, while the upfront GreedyMaxPr set keeps spending.
+func TestAdaptiveCheaperThanUpfront(t *testing.T) {
+	db := adaptiveTestDB(t)
+	f := query.NewAffine(0, map[int]float64{0: 1, 1: 1, 2: 1})
+	tau := 2.0
+	ad, err := NewAdaptiveMaxPr(db, f, tau, normalFactory(f, tau))
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := []float64{4, 10, 10}
+	tr, err := ad.Run(truth, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval, err := maxpr.NewNormalAffine(db, f, tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up, err := NewGreedyMaxPr(db, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	T := selectT(t, up, 3)
+	if tr.CostSpent > T.Cost(db) {
+		t.Fatalf("adaptive spent %v, upfront %v — adaptivity should not cost more here",
+			tr.CostSpent, T.Cost(db))
+	}
+}
+
+// --- Lemma 3.3 knapsack MaxPr ---------------------------------------------------
+
+func TestMaxPrKnapsackMatchesOPT(t *testing.T) {
+	r := rng.New(33)
+	for trial := 0; trial < 15; trial++ {
+		n := 3 + r.Intn(4)
+		objs := make([]model.Object, n)
+		coef := map[int]float64{}
+		for i := 0; i < n; i++ {
+			sigma := 0.5 + 2*r.Float64()
+			u := r.Uniform(-3, 3)
+			nd, _ := dist.NewNormal(u, sigma)
+			objs[i] = model.Object{Name: "o", Cost: float64(r.IntRange(1, 5)), Current: u, Value: nd}
+			coef[i] = r.Uniform(-2, 2)
+		}
+		db := model.New(objs)
+		f := query.NewAffine(0, coef)
+		tau := 0.5 + r.Float64()
+		eval, err := maxpr.NewNormalAffine(db, f, tau)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, err := NewMaxPrKnapsack(db, f, 1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := NewOPT("OPTMaxPr", db, eval.Prob, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		budget := (0.3 + 0.5*r.Float64()) * db.TotalCost()
+		Tk := selectT(t, exact, budget)
+		To := selectT(t, opt, budget)
+		if !numeric.AlmostEqual(eval.Prob(Tk), eval.Prob(To), 1e-9) {
+			t.Fatalf("trial %d: knapsack MaxPr %v vs OPT %v", trial, eval.Prob(Tk), eval.Prob(To))
+		}
+	}
+}
+
+func TestMaxPrKnapsackFPTAS(t *testing.T) {
+	r := rng.New(133)
+	n := 8
+	objs := make([]model.Object, n)
+	coef := map[int]float64{}
+	for i := 0; i < n; i++ {
+		sigma := 0.5 + 2*r.Float64()
+		u := r.Uniform(-3, 3)
+		nd, _ := dist.NewNormal(u, sigma)
+		objs[i] = model.Object{Name: "o", Cost: float64(r.IntRange(1, 5)), Current: u, Value: nd}
+		coef[i] = r.Uniform(-2, 2)
+	}
+	db := model.New(objs)
+	f := query.NewAffine(0, coef)
+	fp, err := NewMaxPrKnapsack(db, f, 1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := NewMaxPrKnapsack(db, f, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod := func(T model.Set) float64 {
+		var s float64
+		ns, _ := db.Normals()
+		for _, i := range T {
+			a := f.CoefAt(i)
+			s += a * a * ns[i].Sigma * ns[i].Sigma
+		}
+		return s
+	}
+	budget := db.TotalCost() * 0.5
+	Tf := selectT(t, fp, budget)
+	Te := selectT(t, exact, budget)
+	if mod(Tf) < 0.9*mod(Te)-1e-9 {
+		t.Fatalf("FPTAS variance %v below (1−ε)·OPT %v", mod(Tf), 0.9*mod(Te))
+	}
+	if fp.Name() != "MaxPrFPTAS" || exact.Name() != "MaxPrOptimum" {
+		t.Fatal("names wrong")
+	}
+}
+
+func TestMaxPrKnapsackValidation(t *testing.T) {
+	db := exampleDB() // discrete values
+	f := query.NewAffine(0, map[int]float64{0: 1})
+	if _, err := NewMaxPrKnapsack(db, f, 1, 0); err == nil {
+		t.Fatal("discrete DB accepted")
+	}
+	nd, _ := dist.NewNormal(5, 1)
+	off := model.New([]model.Object{{Name: "o", Cost: 1, Current: 7, Value: nd}})
+	if _, err := NewMaxPrKnapsack(off, f, 1, 0); err == nil {
+		t.Fatal("off-center current value accepted (violates Lemma 3.3 premise)")
+	}
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"errors"
+
+	"github.com/factcheck/cleansel/internal/maxpr"
+	"github.com/factcheck/cleansel/internal/model"
+)
+
+// GreedyMaxPr is Algorithm 1 with benefits taken from the MaxPr objective:
+// β(o) = P(T ∪ {o}) − P(T). Unlike MinVar the objective is not monotone —
+// cleaning a value can *reduce* the chance of finding a counterargument by
+// adding noise — so the greedy stops as soon as no candidate improves the
+// probability. That refusal to spend more budget is exactly the flat tail
+// of Figure 12(b).
+type GreedyMaxPr struct {
+	db   *model.DB
+	eval maxpr.Evaluator
+}
+
+// NewGreedyMaxPr builds the selector around any MaxPr evaluator.
+func NewGreedyMaxPr(db *model.DB, eval maxpr.Evaluator) (*GreedyMaxPr, error) {
+	if db == nil {
+		return nil, errNilDB
+	}
+	if eval == nil {
+		return nil, errors.New("core: nil MaxPr evaluator")
+	}
+	return &GreedyMaxPr{db: db, eval: eval}, nil
+}
+
+// Name implements Selector.
+func (g *GreedyMaxPr) Name() string { return "GreedyMaxPr" }
+
+// Select implements Selector.
+func (g *GreedyMaxPr) Select(budget float64) (model.Set, error) {
+	if err := validateBudget(budget); err != nil {
+		return nil, err
+	}
+	n := g.db.N()
+	var T model.Set
+	remaining := budget
+	cur := 0.0 // P(∅) = 0 by definition
+	singles := make([]float64, n)
+	for o := 0; o < n; o++ {
+		if p := g.eval.Prob(model.NewSet(o)); p > 0 {
+			singles[o] = p
+		}
+	}
+	for {
+		best, bestR, bestP := -1, 0.0, cur
+		for o := 0; o < n; o++ {
+			if T.Has(o) || !fitsBudget(0, g.db.Objects[o].Cost, remaining) {
+				continue
+			}
+			p := g.eval.Prob(T.Add(o))
+			delta := p - cur
+			if delta <= 0 {
+				continue // only positive improvements are worth budget
+			}
+			if r := ratio(delta, g.db.Objects[o].Cost); r > bestR {
+				best, bestR, bestP = o, r, p
+			}
+		}
+		if best < 0 {
+			break
+		}
+		T = T.Add(best)
+		remaining -= g.db.Objects[best].Cost
+		cur = bestP
+	}
+	// Final check: a single object can beat the whole greedy set because
+	// P is not additive. Σ of recorded gains telescopes to P(T) = cur.
+	if o := bestUnchosen(g.db, singles, T, budget); o >= 0 && singles[o] > cur {
+		return model.NewSet(o), nil
+	}
+	return T, nil
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/factcheck/cleansel/internal/knapsack"
+	"github.com/factcheck/cleansel/internal/model"
+	"github.com/factcheck/cleansel/internal/query"
+)
+
+// MaxPrKnapsack solves MaxPr exactly or approximately via the Lemma 3.3
+// reduction: when errors are independent normals centered at the current
+// values and f is affine, maximizing Pr[f(X) < f(u) − τ] is equivalent to
+// maximizing Σ_{i∈T} a_i²·σ_i² under the budget — a max-knapsack. The
+// exact pseudo-polynomial DP gives the optimum; the FPTAS variant gives a
+// (1−ε)-approximation of the variance objective in O(n³/ε) (and a
+// constant-factor guarantee on the probability when it is not vanishing,
+// as Lemma 3.3 shows).
+type MaxPrKnapsack struct {
+	db        *model.DB
+	weights   []float64
+	precision float64
+	eps       float64 // 0 = exact DP, >0 = FPTAS
+}
+
+// NewMaxPrKnapsack builds the selector. eps == 0 selects the exact DP;
+// eps in (0,1) selects the FPTAS.
+func NewMaxPrKnapsack(db *model.DB, f *query.Affine, precision, eps float64) (*MaxPrKnapsack, error) {
+	if db == nil {
+		return nil, errNilDB
+	}
+	if db.Cov != nil {
+		return nil, errors.New("core: MaxPrKnapsack requires independent values")
+	}
+	ns, ok := db.Normals()
+	if !ok {
+		return nil, errors.New("core: MaxPrKnapsack requires normal value models")
+	}
+	if eps < 0 || eps >= 1 {
+		return nil, fmt.Errorf("core: eps %v outside [0,1)", eps)
+	}
+	for i, o := range db.Objects {
+		if o.Current != ns[i].Mu {
+			return nil, fmt.Errorf("core: object %d not centered at its current value (Lemma 3.3 premise)", i)
+		}
+	}
+	weights := make([]float64, db.N())
+	for i, n := range ns {
+		a := f.CoefAt(i)
+		weights[i] = a * a * n.Sigma * n.Sigma
+	}
+	if precision <= 0 {
+		precision = 0.01
+	}
+	return &MaxPrKnapsack{db: db, weights: weights, precision: precision, eps: eps}, nil
+}
+
+// Name implements Selector.
+func (m *MaxPrKnapsack) Name() string {
+	if m.eps > 0 {
+		return "MaxPrFPTAS"
+	}
+	return "MaxPrOptimum"
+}
+
+// Select implements Selector.
+func (m *MaxPrKnapsack) Select(budget float64) (model.Set, error) {
+	if err := validateBudget(budget); err != nil {
+		return nil, err
+	}
+	var (
+		res knapsack.Result
+		err error
+	)
+	if m.eps > 0 {
+		res, err = knapsack.FPTAS(m.weights, m.db.Costs(), budget, m.eps)
+	} else {
+		res, err = knapsack.MaxDP(m.weights, m.db.Costs(), budget, m.precision)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return model.NewSet(res.Indices...), nil
+}

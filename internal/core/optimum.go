@@ -1,0 +1,259 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/factcheck/cleansel/internal/ev"
+	"github.com/factcheck/cleansel/internal/knapsack"
+	"github.com/factcheck/cleansel/internal/model"
+	"github.com/factcheck/cleansel/internal/query"
+	"github.com/factcheck/cleansel/internal/submod"
+)
+
+// Optimum solves modular MinVar/MaxPr instances exactly as a 0/1 knapsack
+// with the pseudo-polynomial DP (Lemmas 3.2/3.3): weights w_o = a_o²·Var[X_o]
+// (MinVar for affine claims) or a_o²·σ_o² (MaxPr for centered normals).
+type Optimum struct {
+	db        *model.DB
+	weights   []float64
+	precision float64
+}
+
+// NewOptimumModular builds the DP selector from an affine query function.
+func NewOptimumModular(db *model.DB, f *query.Affine, precision float64) (*Optimum, error) {
+	if db == nil {
+		return nil, errNilDB
+	}
+	eng, err := ev.NewModular(db, f)
+	if err != nil {
+		return nil, err
+	}
+	return NewOptimumWeights(db, eng.Weights(), precision)
+}
+
+// NewOptimumWeights builds the DP selector from explicit modular weights.
+func NewOptimumWeights(db *model.DB, weights []float64, precision float64) (*Optimum, error) {
+	if db == nil {
+		return nil, errNilDB
+	}
+	if len(weights) != db.N() {
+		return nil, fmt.Errorf("core: %d weights for %d objects", len(weights), db.N())
+	}
+	if precision <= 0 {
+		// Real-valued costs (the datasets draw them from continuous
+		// ranges) need a fine grid or the DP's ceil/floor rounding can
+		// lose the true optimum to the exact-cost greedy.
+		precision = 0.01
+	}
+	return &Optimum{db: db, weights: append([]float64(nil), weights...), precision: precision}, nil
+}
+
+// Name implements Selector.
+func (o *Optimum) Name() string { return "Optimum" }
+
+// Select implements Selector.
+func (o *Optimum) Select(budget float64) (model.Set, error) {
+	if err := validateBudget(budget); err != nil {
+		return nil, err
+	}
+	res, err := knapsack.MaxDP(o.weights, o.db.Costs(), budget, o.precision)
+	if err != nil {
+		return nil, err
+	}
+	return model.NewSet(res.Indices...), nil
+}
+
+// Best is the Theorem 3.7 algorithm: MinVar as minimization of the
+// non-decreasing submodular complement objective under a knapsack covering
+// constraint, solved with the Iyer–Bilmes majorize–minimize scheme over
+// exact min-knapsacks. EV evaluations are memoized — the inner loops
+// revisit the same sets many times.
+type Best struct {
+	db        *model.DB
+	engine    ev.Engine
+	precision float64
+	maxIters  int
+}
+
+// NewBest builds the selector for a decomposed query function.
+func NewBest(db *model.DB, g *query.GroupSum, precision float64) (*Best, error) {
+	if db == nil {
+		return nil, errNilDB
+	}
+	engine, err := ev.NewGroupEngine(db, g)
+	if err != nil {
+		return nil, err
+	}
+	return &Best{db: db, engine: engine, precision: orDefault(precision, 1), maxIters: 12}, nil
+}
+
+// NewBestEngine builds the selector over an arbitrary EV engine.
+func NewBestEngine(db *model.DB, engine ev.Engine, precision float64) (*Best, error) {
+	if db == nil {
+		return nil, errNilDB
+	}
+	if engine == nil {
+		return nil, errors.New("core: nil engine")
+	}
+	return &Best{db: db, engine: engine, precision: orDefault(precision, 1), maxIters: 12}, nil
+}
+
+func orDefault(v, d float64) float64 {
+	if v <= 0 {
+		return d
+	}
+	return v
+}
+
+// Name implements Selector.
+func (b *Best) Name() string { return "Best" }
+
+// Select implements Selector.
+func (b *Best) Select(budget float64) (model.Set, error) {
+	if err := validateBudget(budget); err != nil {
+		return nil, err
+	}
+	n := b.db.N()
+	evMemo := memoizeSetFunc(func(S model.Set) float64 { return b.engine.EV(S) })
+	// f̄(K) = EV(O \ K) over keep-dirty sets K; constraint c(K) ≥ C̄.
+	fbar := submod.Func{
+		N:    n,
+		Eval: func(K model.Set) float64 { return evMemo(K.Complement(n)) },
+	}
+	costs := b.db.Costs()
+	lower := b.db.TotalCost() - budget
+	if lower < 0 {
+		lower = 0
+	}
+	K, _, err := submod.MinimizeCover(fbar, costs, lower, b.maxIters, b.precision)
+	if err != nil {
+		return nil, err
+	}
+	T := K.Complement(n)
+	// Discretized min-knapsack can keep slightly too little; repair by
+	// dropping the cheapest-benefit cleaned objects until feasible.
+	for T.Cost(b.db) > budget+1e-9 && len(T) > 0 {
+		worst, worstScore := -1, math.Inf(1)
+		for _, o := range T {
+			drop := T.Minus(model.NewSet(o))
+			score := evMemo(drop) - evMemo(T) // EV increase from dropping o
+			c := b.db.Objects[o].Cost
+			if c <= 0 {
+				c = 1e-12
+			}
+			if s := score / c; s < worstScore {
+				worst, worstScore = o, s
+			}
+		}
+		if worst < 0 {
+			break
+		}
+		T = T.Minus(model.NewSet(worst))
+	}
+	return T, nil
+}
+
+// Curvature reports the curvature κ of the complement objective, which
+// controls Best's O(1/(1−κ)) guarantee (Theorem 3.7).
+func (b *Best) Curvature() float64 {
+	n := b.db.N()
+	evMemo := memoizeSetFunc(func(S model.Set) float64 { return b.engine.EV(S) })
+	fbar := submod.Func{
+		N:    n,
+		Eval: func(K model.Set) float64 { return evMemo(K.Complement(n)) },
+	}
+	return submod.Curvature(fbar)
+}
+
+// memoizeSetFunc caches a set function by the canonical key of its input.
+func memoizeSetFunc(f func(model.Set) float64) func(model.Set) float64 {
+	cache := map[string]float64{}
+	return func(S model.Set) float64 {
+		key := setKey(S)
+		if v, ok := cache[key]; ok {
+			return v
+		}
+		v := f(S)
+		cache[key] = v
+		return v
+	}
+}
+
+func setKey(S model.Set) string {
+	buf := make([]byte, 0, 4*len(S))
+	for _, v := range S {
+		buf = append(buf, byte(v), byte(v>>8), byte(v>>16), ',')
+	}
+	return string(buf)
+}
+
+// OPT exhaustively enumerates all subsets within budget and returns the
+// one with the best objective — the yardstick of §4.5. The ground set must
+// be small (≤ MaxExhaustiveN objects).
+type OPT struct {
+	db        *model.DB
+	objective func(model.Set) float64
+	maximize  bool
+	name      string
+}
+
+// MaxExhaustiveN caps exhaustive enumeration (2^22 subsets ≈ seconds).
+const MaxExhaustiveN = 22
+
+// NewOPT builds the exhaustive selector over an arbitrary set objective.
+func NewOPT(name string, db *model.DB, objective func(model.Set) float64, maximize bool) (*OPT, error) {
+	if db == nil {
+		return nil, errNilDB
+	}
+	if db.N() > MaxExhaustiveN {
+		return nil, fmt.Errorf("core: OPT limited to %d objects, got %d", MaxExhaustiveN, db.N())
+	}
+	if objective == nil {
+		return nil, errors.New("core: nil objective")
+	}
+	return &OPT{db: db, objective: objective, maximize: maximize, name: name}, nil
+}
+
+// NewOPTMinVar builds the exhaustive MinVar yardstick over an EV engine.
+func NewOPTMinVar(db *model.DB, engine ev.Engine) (*OPT, error) {
+	return NewOPT("OPT", db, engine.EV, false)
+}
+
+// Name implements Selector.
+func (o *OPT) Name() string { return o.name }
+
+// Select implements Selector.
+func (o *OPT) Select(budget float64) (model.Set, error) {
+	if err := validateBudget(budget); err != nil {
+		return nil, err
+	}
+	n := o.db.N()
+	costs := o.db.Costs()
+	bestVal := math.Inf(1)
+	if o.maximize {
+		bestVal = math.Inf(-1)
+	}
+	var best model.Set
+	scratch := make(model.Set, 0, n)
+	for mask := 0; mask < 1<<n; mask++ {
+		var c float64
+		scratch = scratch[:0]
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				c += costs[i]
+				scratch = append(scratch, i)
+			}
+		}
+		if c > budget+1e-9 {
+			continue
+		}
+		v := o.objective(scratch)
+		if (o.maximize && v > bestVal) || (!o.maximize && v < bestVal) {
+			bestVal = v
+			best = scratch.Clone()
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,87 @@
+package ev
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/factcheck/cleansel/internal/dist"
+	"github.com/factcheck/cleansel/internal/model"
+	"github.com/factcheck/cleansel/internal/numeric"
+	"github.com/factcheck/cleansel/internal/query"
+)
+
+// Entropy computes the *entropy*-based analogue of EV(T),
+//
+//	EH(T) = Σ_v Pr[X_T = v] · H(f(X) | X_T = v),
+//
+// the uncertainty measure behind PWS-quality-style cleaning objectives
+// (§5 related work: Cheng et al.). The paper argues expected variance
+// suits fact-checking better because the *magnitude* of the deviation
+// matters for numeric claims, while entropy only counts outcome spread;
+// this engine exists so that claim can be tested rather than asserted —
+// see the divergence test and the ablation bench.
+//
+// Entropy has no Theorem 3.8-style decomposition (it is not additive over
+// independent summands), so the engine enumerates the joint support of
+// the referenced objects. Use it on small workloads.
+type Entropy struct {
+	db    *model.DB
+	dists []*dist.Discrete
+	f     query.Function
+	vars  []int
+}
+
+// NewEntropy builds the engine for independent discrete values.
+func NewEntropy(db *model.DB, f query.Function) (*Entropy, error) {
+	if db.Cov != nil {
+		return nil, errors.New("ev: Entropy requires independent values")
+	}
+	ds, err := db.Discretes()
+	if err != nil {
+		return nil, fmt.Errorf("ev: Entropy: %w", err)
+	}
+	return &Entropy{db: db, dists: ds, f: f, vars: f.Vars()}, nil
+}
+
+// EV implements Engine with the entropy objective (the name keeps the
+// Engine interface; the unit is nats, not variance).
+func (e *Entropy) EV(T model.Set) float64 {
+	inT := make([]bool, e.db.N())
+	for _, i := range T {
+		inT[i] = true
+	}
+	var cleanVars, freeVars []int
+	for _, v := range e.vars {
+		if inT[v] {
+			cleanVars = append(cleanVars, v)
+		} else {
+			freeVars = append(freeVars, v)
+		}
+	}
+	x := make([]float64, e.db.N())
+	var acc numeric.KahanAcc
+	enumerate(e.dists, cleanVars, x, func(pT float64) {
+		// Conditional distribution of f over the free variables.
+		pmf := map[int64]float64{}
+		enumerate(e.dists, freeVars, x, func(p float64) {
+			pmf[numeric.QuantizeKey(e.f.Eval(x))] += p
+		})
+		var h float64
+		for _, p := range pmf {
+			if p > 0 {
+				h -= p * math.Log(p)
+			}
+		}
+		acc.Add(pT * h)
+	})
+	v := acc.Value()
+	if v < 0 {
+		v = 0
+	}
+	return v
+}
+
+// Variance is a misnomer kept for Engine symmetry: it returns EH(∅), the
+// prior entropy of f(X).
+func (e *Entropy) Variance() float64 { return e.EV(nil) }

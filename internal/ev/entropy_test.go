@@ -1,0 +1,124 @@
+package ev
+
+import (
+	"math"
+	"testing"
+
+	"github.com/factcheck/cleansel/internal/dist"
+	"github.com/factcheck/cleansel/internal/model"
+	"github.com/factcheck/cleansel/internal/numeric"
+	"github.com/factcheck/cleansel/internal/query"
+	"github.com/factcheck/cleansel/internal/rng"
+)
+
+func TestEntropyBernoulliIndicator(t *testing.T) {
+	// Example 3: f = 1[X1+X2+X3 < 3]; Pr[f=0] = 1/24.
+	db := example3DB()
+	e, err := NewEntropy(db, example3Query())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := 1.0 / 24.0
+	wantPrior := -p*math.Log(p) - (1-p)*math.Log(1-p)
+	if got := e.Variance(); !numeric.AlmostEqual(got, wantPrior, 1e-12) {
+		t.Fatalf("prior entropy %v want %v", got, wantPrior)
+	}
+	// Cleaning X1: branch X1=0 is deterministic (H=0); branch X1=1 has
+	// Pr[f=0] = 1/12.
+	q := 1.0 / 12.0
+	branch := -q*math.Log(q) - (1-q)*math.Log(1-q)
+	want := 0.5 * branch
+	if got := e.EV(model.NewSet(0)); !numeric.AlmostEqual(got, want, 1e-12) {
+		t.Fatalf("EH({x1}) %v want %v", got, want)
+	}
+	// Cleaning everything leaves zero entropy.
+	if got := e.EV(model.NewSet(0, 1, 2)); !numeric.AlmostEqual(got, 0, 1e-12) {
+		t.Fatalf("EH(all) = %v", got)
+	}
+}
+
+func TestEntropyMonotone(t *testing.T) {
+	r := rng.New(271)
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + r.Intn(3)
+		db := randomDB(r, n)
+		g := randomGroupSum(r, n)
+		e, err := NewEntropy(db, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		T := randomSubset(r, n)
+		base := e.EV(T)
+		for o := 0; o < n; o++ {
+			if T.Has(o) {
+				continue
+			}
+			if after := e.EV(T.Add(o)); after > base+1e-9 {
+				t.Fatalf("trial %d: expected entropy rose %v -> %v", trial, base, after)
+			}
+		}
+	}
+}
+
+// The §5 argument made concrete: variance and entropy objectives can
+// disagree about which object to clean. Entropy only sees outcome
+// probabilities; variance sees magnitudes. Object a decides between two
+// nearby values (high entropy contribution, small magnitude); object b
+// decides between two far-apart values with a skewed probability (lower
+// entropy, large variance).
+func TestEntropyAndVarianceDisagree(t *testing.T) {
+	db := model.New([]model.Object{
+		{Name: "a", Cost: 1, Value: dist.MustDiscrete([]float64{0, 1}, []float64{0.5, 0.5})},
+		{Name: "b", Cost: 1, Value: dist.MustDiscrete([]float64{0, 100}, []float64{0.9, 0.1})},
+	})
+	f := query.NewAffine(0, map[int]float64{0: 1, 1: 1})
+	varEng, err := NewModular(db, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entEng, err := NewEntropy(db, f.AsGroupSum())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Variance: cleaning b removes 900 of the 900.25 total — b wins.
+	varGainA := varEng.Variance() - varEng.EV(model.NewSet(0))
+	varGainB := varEng.Variance() - varEng.EV(model.NewSet(1))
+	if varGainB <= varGainA {
+		t.Fatalf("variance should prefer b: %v vs %v", varGainB, varGainA)
+	}
+	// Entropy: cleaning a removes ln 2 ≈ 0.693; cleaning b removes only
+	// H(0.1) ≈ 0.325 — a wins.
+	entGainA := entEng.Variance() - entEng.EV(model.NewSet(0))
+	entGainB := entEng.Variance() - entEng.EV(model.NewSet(1))
+	if entGainA <= entGainB {
+		t.Fatalf("entropy should prefer a: %v vs %v", entGainA, entGainB)
+	}
+}
+
+func TestEntropyAdditiveForIndependentBits(t *testing.T) {
+	// Entropy of independent bits revealed by an identity-ish function:
+	// f = 2·X0 + X1 is a bijection of the joint outcome, so prior entropy
+	// is H(X0) + H(X1).
+	db := model.New([]model.Object{
+		{Name: "a", Cost: 1, Value: dist.Bernoulli(0.5)},
+		{Name: "b", Cost: 1, Value: dist.Bernoulli(0.25)},
+	})
+	f := query.NewAffine(0, map[int]float64{0: 2, 1: 1})
+	e, err := NewEntropy(db, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := func(p float64) float64 { return -p*math.Log(p) - (1-p)*math.Log(1-p) }
+	want := h(0.5) + h(0.25)
+	if got := e.Variance(); !numeric.AlmostEqual(got, want, 1e-12) {
+		t.Fatalf("joint entropy %v want %v", got, want)
+	}
+}
+
+func TestEntropyValidation(t *testing.T) {
+	n, _ := dist.NewNormal(0, 1)
+	db := model.New([]model.Object{{Name: "a", Cost: 1, Value: n}})
+	if _, err := NewEntropy(db, query.NewAffine(0, map[int]float64{0: 1})); err == nil {
+		t.Fatal("normal values accepted by exact entropy engine")
+	}
+}

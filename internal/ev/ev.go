@@ -1,0 +1,146 @@
+// Package ev computes the MinVar objective of Eq. (1),
+//
+//	EV(T) = Σ_{v ∈ V_T} Pr[X_T = v] · Var[f(X) | X_T = v],
+//
+// the expected variance that remains in the query result after cleaning the
+// subset T. Four engines trade generality for speed:
+//
+//   - BruteForce — joint enumeration over all discrete supports; the
+//     exponential reference implementation used to validate the others.
+//   - Modular — Lemma 3.1: affine f with uncorrelated errors gives
+//     EV(T) = Σ_{i∉T} a_i²·Var[X_i].
+//   - GroupEngine — Theorem 3.8: f = Σ_k g_k(X_{R_k}) with mutually
+//     independent discrete values; per-term variances plus covariances of
+//     overlapping term pairs, each computed by enumerating only the
+//     supports of the referenced objects. Supports incremental deltas for
+//     greedy selection and conditional posterior moments.
+//   - MVNEngine — affine f with correlated normal errors (§4.5), via the
+//     Schur-complement conditional covariance.
+package ev
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/factcheck/cleansel/internal/dist"
+	"github.com/factcheck/cleansel/internal/model"
+	"github.com/factcheck/cleansel/internal/numeric"
+	"github.com/factcheck/cleansel/internal/query"
+)
+
+// Engine computes the MinVar objective for subsets of a fixed problem.
+type Engine interface {
+	// EV returns the expected posterior variance after cleaning T.
+	EV(T model.Set) float64
+}
+
+// enumerate iterates the product distribution of the given vars, assigning
+// values into x (indexed by object ID) and invoking visit with the joint
+// probability of the assignment. vars may be empty, in which case visit is
+// called once with probability 1.
+func enumerate(dists []*dist.Discrete, vars []int, x []float64, visit func(p float64)) {
+	var rec func(i int, p float64)
+	rec = func(i int, p float64) {
+		if i == len(vars) {
+			visit(p)
+			return
+		}
+		d := dists[vars[i]]
+		for j, v := range d.Values {
+			x[vars[i]] = v
+			rec(i+1, p*d.Probs[j])
+		}
+	}
+	rec(0, 1)
+}
+
+// BruteForce is the exponential-time reference engine: it enumerates the
+// full joint distribution. Values must be mutually independent and
+// discrete. Use only for small n (tests, the paper's worked examples,
+// exhaustive OPT baselines).
+type BruteForce struct {
+	db    *model.DB
+	dists []*dist.Discrete
+	f     query.Function
+}
+
+// NewBruteForce builds the reference engine.
+func NewBruteForce(db *model.DB, f query.Function) (*BruteForce, error) {
+	if db.Cov != nil {
+		return nil, errors.New("ev: BruteForce requires independent values")
+	}
+	ds, err := db.Discretes()
+	if err != nil {
+		return nil, fmt.Errorf("ev: BruteForce: %w", err)
+	}
+	return &BruteForce{db: db, dists: ds, f: f}, nil
+}
+
+// EV enumerates V_T, and for each cleaned outcome the conditional
+// distribution of the remaining values.
+func (b *BruteForce) EV(T model.Set) float64 {
+	n := b.db.N()
+	x := make([]float64, n)
+	rest := T.Complement(n)
+	var acc numeric.KahanAcc
+	enumerate(b.dists, T, x, func(pT float64) {
+		var m1, m2 numeric.KahanAcc
+		enumerate(b.dists, rest, x, func(p float64) {
+			v := b.f.Eval(x)
+			m1.Add(p * v)
+			m2.Add(p * v * v)
+		})
+		mean := m1.Value()
+		variance := m2.Value() - mean*mean
+		if variance < 0 {
+			variance = 0
+		}
+		acc.Add(pT * variance)
+	})
+	return acc.Value()
+}
+
+// Variance returns Var[f(X)] with nothing cleaned (EV(∅)).
+func (b *BruteForce) Variance() float64 { return b.EV(nil) }
+
+// Modular is the Lemma 3.1 fast path: affine f and uncorrelated values
+// give EV(T) = Σ_{i∉T} a_i²·Var[X_i], so each object contributes an
+// independent weight w_i = a_i²·Var[X_i].
+type Modular struct {
+	weights []float64
+	total   float64
+}
+
+// NewModular builds the engine from any database (discrete or normal
+// marginals — only variances are needed).
+func NewModular(db *model.DB, f *query.Affine) (*Modular, error) {
+	if db.Cov != nil {
+		return nil, errors.New("ev: Modular requires uncorrelated values")
+	}
+	m := &Modular{weights: make([]float64, db.N())}
+	for i := range m.weights {
+		a := f.CoefAt(i)
+		w := a * a * db.Objects[i].Value.Variance()
+		m.weights[i] = w
+		m.total += w
+	}
+	return m, nil
+}
+
+// Weights returns w_i = a_i²·Var[X_i], the knapsack weights of §3.2.
+func (m *Modular) Weights() []float64 { return append([]float64(nil), m.weights...) }
+
+// EV returns total − Σ_{i∈T} w_i.
+func (m *Modular) EV(T model.Set) float64 {
+	ev := m.total
+	for _, i := range T {
+		ev -= m.weights[i]
+	}
+	if ev < 0 {
+		ev = 0
+	}
+	return ev
+}
+
+// Variance returns EV(∅) = Var[f(X)].
+func (m *Modular) Variance() float64 { return m.total }

@@ -1,0 +1,66 @@
+package ev
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/factcheck/cleansel/internal/dist"
+	"github.com/factcheck/cleansel/internal/model"
+	"github.com/factcheck/cleansel/internal/numeric"
+	"github.com/factcheck/cleansel/internal/query"
+	"github.com/factcheck/cleansel/internal/rng"
+)
+
+// MonteCarlo estimates EV(T) for arbitrary query functions over
+// independent discrete values by nested sampling: the outer loop draws a
+// cleaning outcome v ~ X_T, the inner loop estimates Var[f(X) | X_T = v].
+// §3.1 suggests exactly this estimator when exact benefit computation is
+// intractable.
+type MonteCarlo struct {
+	db    *model.DB
+	dists []*dist.Discrete
+	f     query.Function
+	outer int
+	inner int
+	r     *rng.RNG
+}
+
+// NewMonteCarlo builds the estimator; outer/inner are the sample counts of
+// the two loops.
+func NewMonteCarlo(db *model.DB, f query.Function, outer, inner int, r *rng.RNG) (*MonteCarlo, error) {
+	if db.Cov != nil {
+		return nil, errors.New("ev: MonteCarlo requires independent values")
+	}
+	if outer <= 0 || inner <= 1 {
+		return nil, fmt.Errorf("ev: need outer >= 1, inner >= 2; got %d/%d", outer, inner)
+	}
+	ds, err := db.Discretes()
+	if err != nil {
+		return nil, fmt.Errorf("ev: MonteCarlo: %w", err)
+	}
+	return &MonteCarlo{db: db, dists: ds, f: f, outer: outer, inner: inner, r: r}, nil
+}
+
+// EV returns the nested Monte-Carlo estimate of the objective. The inner
+// variance uses the unbiased (n−1) estimator so the outer average is an
+// unbiased estimate of EV(T).
+func (m *MonteCarlo) EV(T model.Set) float64 {
+	n := m.db.N()
+	rest := T.Complement(n)
+	x := make([]float64, n)
+	var outerAcc numeric.Welford
+	for o := 0; o < m.outer; o++ {
+		for _, i := range T {
+			x[i] = m.dists[i].Sample(m.r)
+		}
+		var innerAcc numeric.Welford
+		for in := 0; in < m.inner; in++ {
+			for _, i := range rest {
+				x[i] = m.dists[i].Sample(m.r)
+			}
+			innerAcc.Add(m.f.Eval(x))
+		}
+		outerAcc.Add(innerAcc.SampleVar())
+	}
+	return outerAcc.Mean()
+}

@@ -1,0 +1,146 @@
+package ev
+
+import (
+	"errors"
+
+	"github.com/factcheck/cleansel/internal/linalg"
+	"github.com/factcheck/cleansel/internal/model"
+	"github.com/factcheck/cleansel/internal/query"
+)
+
+// MVNEngine computes EV(T) for an affine query function when the object
+// values follow a joint (possibly correlated) normal law — the §4.5
+// setting where dependencies Cov(i,j) = γ^{j−i}·σ_i·σ_j are injected into
+// CDC-firearms.
+//
+// For a multivariate normal, the conditional covariance of the uncleaned
+// values given X_T = v is the Schur complement Σ_{Ū|T} and does not depend
+// on v, so the expectation over cleaning outcomes is the conditional
+// variance itself:
+//
+//	EV(T) = a_Ū ᵀ · (Σ_ŪŪ − Σ_ŪT·Σ_TT⁻¹·Σ_TŪ) · a_Ū.
+type MVNEngine struct {
+	db    *model.DB
+	sigma *linalg.Matrix
+	a     []float64
+
+	sigmaA []float64 // Σ·a, precomputed
+	total  float64   // aᵀΣa = Var[f]
+}
+
+// NewMVN builds the engine. If the database has no explicit covariance, a
+// diagonal one is assembled from the marginal variances (the independent
+// special case).
+func NewMVN(db *model.DB, f *query.Affine) (*MVNEngine, error) {
+	n := db.N()
+	sigma := db.Cov
+	if sigma == nil {
+		sigma = linalg.NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			sigma.Set(i, i, db.Objects[i].Value.Variance())
+		}
+	}
+	if sigma.Rows != n || sigma.Cols != n {
+		return nil, errors.New("ev: covariance dimension mismatch")
+	}
+	e := &MVNEngine{db: db, sigma: sigma, a: f.Dense(n)}
+	e.sigmaA = sigma.MulVec(e.a)
+	for i, v := range e.a {
+		e.total += v * e.sigmaA[i]
+	}
+	return e, nil
+}
+
+// EV returns the exact conditional variance of f given that T is cleaned.
+// Because (f, X_T) are jointly normal,
+//
+//	EV(T) = Var[f | X_T] = Var[f] − Cov(f, X_T)ᵀ·Σ_TT⁻¹·Cov(f, X_T),
+//
+// which only factorizes the |T|×|T| conditioning block — the form that
+// makes the exhaustive OPT baseline of §4.5 affordable.
+func (e *MVNEngine) EV(T model.Set) float64 {
+	if len(T) == 0 {
+		return e.total
+	}
+	cT := make([]float64, len(T))
+	for i, v := range T {
+		cT[i] = e.sigmaA[v]
+	}
+	sTT := e.sigma.Submatrix(T, T)
+	sol, err := linalg.SolveSPD(sTT, cT)
+	if err != nil {
+		// Degenerate conditioning block: fall back to the marginal
+		// semantics, which needs no inversion.
+		return e.MarginalEV(T)
+	}
+	out := e.total
+	for i := range cT {
+		out -= cT[i] * sol[i]
+	}
+	if out < 0 {
+		return 0
+	}
+	return out
+}
+
+// MarginalEV returns Σ_{i,j∉T} a_i·a_j·Σ_ij — the simplified semantics the
+// paper's Theorem 3.9 proof uses, which treats the uncleaned values as
+// keeping their marginal covariance after conditioning. It coincides with
+// EV when values are independent.
+func (e *MVNEngine) MarginalEV(T model.Set) float64 {
+	keep := T.Complement(e.db.N())
+	var out float64
+	for _, i := range keep {
+		for _, j := range keep {
+			out += e.a[i] * e.a[j] * e.sigma.At(i, j)
+		}
+	}
+	if out < 0 {
+		return 0
+	}
+	return out
+}
+
+// Variance returns EV(∅) = aᵀΣa.
+func (e *MVNEngine) Variance() float64 {
+	return linalg.QuadForm(e.sigma, e.a)
+}
+
+// CleanedVariance returns Var[Σ_{i∈T} a_i·X_i | X_Ū = u_Ū] =
+// a_T ᵀ·Σ_{T|Ū}·a_T, the variance that cleaning T injects while everything
+// else stays at its current value — the quantity MaxPr maximizes for
+// centered normal errors (Lemma 3.1 / Theorem 3.9).
+func (e *MVNEngine) CleanedVariance(T model.Set) float64 {
+	if len(T) == 0 {
+		return 0
+	}
+	cond := T.Complement(e.db.N())
+	cc, err := linalg.ConditionalCovariance(e.sigma, T, cond)
+	if err != nil {
+		return 0
+	}
+	at := make([]float64, len(T))
+	for i, v := range T {
+		at[i] = e.a[v]
+	}
+	out := linalg.QuadForm(cc, at)
+	if out < 0 {
+		return 0
+	}
+	return out
+}
+
+// MarginalCleanedVariance is the marginal-semantics analogue of
+// CleanedVariance: Σ_{i,j∈T} a_i·a_j·Σ_ij.
+func (e *MVNEngine) MarginalCleanedVariance(T model.Set) float64 {
+	var out float64
+	for _, i := range T {
+		for _, j := range T {
+			out += e.a[i] * e.a[j] * e.sigma.At(i, j)
+		}
+	}
+	if out < 0 {
+		return 0
+	}
+	return out
+}

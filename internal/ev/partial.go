@@ -1,0 +1,76 @@
+package ev
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/factcheck/cleansel/internal/model"
+	"github.com/factcheck/cleansel/internal/query"
+)
+
+// PartialModular extends the Lemma 3.1 modular engine to the paper's
+// third future-work setting: cleaning a value only *reduces* its
+// uncertainty instead of eliminating it. Cleaning object i rescales its
+// error standard deviation by a residual factor ρ_i ∈ [0, 1], so for an
+// affine query function over uncorrelated errors
+//
+//	EV(T) = Σ_{i∉T} a_i²·Var[X_i] + Σ_{i∈T} ρ_i²·a_i²·Var[X_i],
+//
+// which is still modular with effective per-object benefits
+// (1 − ρ_i²)·a_i²·Var[X_i] — so every modular algorithm (greedy, knapsack
+// DP, FPTAS) carries over unchanged with these weights.
+type PartialModular struct {
+	weights  []float64 // full weights a_i²·Var[X_i]
+	benefits []float64 // (1 − ρ_i²)·w_i
+	total    float64
+}
+
+// NewPartialModular builds the engine; residual[i] = ρ_i is the fraction
+// of the standard deviation that survives cleaning object i (0 recovers
+// the exact-cleaning model, 1 makes cleaning i useless).
+func NewPartialModular(db *model.DB, f *query.Affine, residual []float64) (*PartialModular, error) {
+	if db.Cov != nil {
+		return nil, errors.New("ev: PartialModular requires uncorrelated values")
+	}
+	if len(residual) != db.N() {
+		return nil, fmt.Errorf("ev: %d residuals for %d objects", len(residual), db.N())
+	}
+	p := &PartialModular{
+		weights:  make([]float64, db.N()),
+		benefits: make([]float64, db.N()),
+	}
+	for i := range p.weights {
+		rho := residual[i]
+		if rho < 0 || rho > 1 {
+			return nil, fmt.Errorf("ev: residual %v out of [0,1] at %d", rho, i)
+		}
+		a := f.CoefAt(i)
+		w := a * a * db.Objects[i].Value.Variance()
+		p.weights[i] = w
+		p.benefits[i] = (1 - rho*rho) * w
+		p.total += w
+	}
+	return p, nil
+}
+
+// Benefits returns the effective modular weights (1 − ρ_i²)·a_i²·Var[X_i],
+// ready for any knapsack solver.
+func (p *PartialModular) Benefits() []float64 {
+	return append([]float64(nil), p.benefits...)
+}
+
+// EV implements Engine: the expected variance remaining after (partially)
+// cleaning T.
+func (p *PartialModular) EV(T model.Set) float64 {
+	ev := p.total
+	for _, i := range T {
+		ev -= p.benefits[i]
+	}
+	if ev < 0 {
+		ev = 0
+	}
+	return ev
+}
+
+// Variance returns EV(∅).
+func (p *PartialModular) Variance() float64 { return p.total }

@@ -1,0 +1,67 @@
+package ev
+
+import (
+	"testing"
+
+	"github.com/factcheck/cleansel/internal/numeric"
+	"github.com/factcheck/cleansel/internal/rng"
+)
+
+// SingletonBenefits must agree with per-object Delta on random instances,
+// including instances with overlapping pairs and partially cleaned states.
+func TestSingletonBenefitsMatchDelta(t *testing.T) {
+	r := rng.New(31337)
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + r.Intn(4)
+		db := randomDB(r, n)
+		g := randomGroupSum(r, n)
+		ge := mustGroup(t, db, g)
+		st := ge.NewState()
+		// Clean a random prefix to exercise non-empty states.
+		for _, o := range r.Perm(n)[:r.Intn(n)] {
+			st.Clean(o)
+		}
+		got := st.SingletonBenefits()
+		for o := 0; o < n; o++ {
+			want := -st.Delta(o)
+			if want < 0 {
+				want = 0
+			}
+			if st.Cleaned(o) {
+				want = 0
+			}
+			if !numeric.AlmostEqual(got[o], want, 1e-8) {
+				t.Fatalf("trial %d: benefit[%d] = %v, want %v (cleaned=%v)",
+					trial, o, got[o], want, st.Cleaned(o))
+			}
+		}
+	}
+}
+
+func TestSingletonBenefitsNonNegative(t *testing.T) {
+	r := rng.New(99)
+	db := randomDB(r, 5)
+	g := randomGroupSum(r, 5)
+	ge := mustGroup(t, db, g)
+	st := ge.NewState()
+	for _, b := range st.SingletonBenefits() {
+		if b < 0 {
+			t.Fatalf("negative singleton benefit %v", b)
+		}
+	}
+}
+
+func TestSingletonBenefitsIgnoresCleaned(t *testing.T) {
+	db := example6DB()
+	g := example6Query()
+	ge := mustGroup(t, db, g)
+	st := ge.NewState()
+	st.Clean(0)
+	b := st.SingletonBenefits()
+	if b[0] != 0 {
+		t.Fatalf("cleaned object benefit = %v, want 0", b[0])
+	}
+	if b[1] <= 0 {
+		t.Fatalf("uncleaned object benefit = %v, want > 0", b[1])
+	}
+}

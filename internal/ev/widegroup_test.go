@@ -1,0 +1,60 @@
+package ev
+
+import (
+	"testing"
+
+	"github.com/factcheck/cleansel/internal/dist"
+	"github.com/factcheck/cleansel/internal/model"
+	"github.com/factcheck/cleansel/internal/numeric"
+	"github.com/factcheck/cleansel/internal/query"
+)
+
+// A term referencing more than 64 objects cannot be mask-cached; the
+// engine must bypass the cache and still compute correctly. Supports are
+// kept at 1–2 atoms so the 70-variable enumeration stays tiny.
+func TestGroupEngineWideTermBypassesCache(t *testing.T) {
+	const n = 70
+	objs := make([]model.Object, n)
+	for i := range objs {
+		if i%7 == 0 {
+			objs[i].Value = dist.MustDiscrete([]float64{0, 1}, []float64{0.5, 0.5})
+		} else {
+			objs[i].Value = dist.PointMass(1)
+		}
+		objs[i].Cost = 1
+		objs[i].Name = "o"
+	}
+	db := model.New(objs)
+	vars := make([]int, n)
+	coef := make([]float64, n)
+	for i := range vars {
+		vars[i] = i
+		coef[i] = 1
+	}
+	g := &query.GroupSum{Terms: []query.Term{query.LinearTerm(vars, coef, 0)}}
+	eng, err := NewGroupEngine(db, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ten Bernoulli(1/2) objects contribute 10·(1/4) to the variance.
+	if got := eng.Variance(); !numeric.AlmostEqual(got, 2.5, 1e-9) {
+		t.Fatalf("wide-term variance %v, want 2.5", got)
+	}
+	// Cleaning one uncertain object removes exactly 1/4; repeated calls
+	// (which would hit a cache if one existed) stay consistent.
+	T := model.NewSet(0)
+	for i := 0; i < 3; i++ {
+		if got := eng.EV(T); !numeric.AlmostEqual(got, 2.25, 1e-9) {
+			t.Fatalf("EV after cleaning %v, want 2.25", got)
+		}
+	}
+	// The incremental state agrees.
+	st := eng.NewState()
+	if got := -st.Delta(0); !numeric.AlmostEqual(got, 0.25, 1e-9) {
+		t.Fatalf("delta %v, want 0.25", got)
+	}
+	// Point-mass objects are worthless to clean.
+	if got := st.Delta(1); got != 0 {
+		t.Fatalf("point-mass delta %v, want 0", got)
+	}
+}

@@ -1,0 +1,199 @@
+// Package expt regenerates every figure of the paper's evaluation (§4)
+// plus the in-text experiments: given a figure id, a scale, and a seed, a
+// runner assembles the workload (dataset + claim + perturbations), runs
+// the competing selection algorithms over a budget sweep, and returns the
+// measured series. Output is rendered as ASCII tables or CSV; cmd/repro
+// is the command-line driver and bench_test.go exercises every runner.
+package expt
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Scale selects the experiment size.
+type Scale int
+
+const (
+	// Small runs reduced grids suitable for tests and benchmarks.
+	Small Scale = iota
+	// PaperScale runs the full grids of the paper.
+	PaperScale
+)
+
+// ParseScale converts "small"/"paper" to a Scale.
+func ParseScale(s string) (Scale, error) {
+	switch strings.ToLower(s) {
+	case "small", "":
+		return Small, nil
+	case "paper", "full":
+		return PaperScale, nil
+	}
+	return Small, fmt.Errorf("expt: unknown scale %q (want small or paper)", s)
+}
+
+// Point is one (x, y) measurement.
+type Point struct {
+	X, Y float64
+}
+
+// Series is a named measured curve.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Figure is one reproduced artifact: a set of series over a shared x-axis
+// plus free-form notes (scenario outcomes, thresholds, agreements).
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	Notes  []string
+}
+
+// Render writes an aligned ASCII table of the figure.
+func (f *Figure) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# %s — %s\n", f.ID, f.Title); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "# x: %s; y: %s\n", f.XLabel, f.YLabel)
+	for _, n := range f.Notes {
+		fmt.Fprintf(w, "# note: %s\n", n)
+	}
+	if len(f.Series) == 0 {
+		_, err := fmt.Fprintln(w, "(no series)")
+		return err
+	}
+	// Collect the union of x values, sorted.
+	xsSet := map[float64]struct{}{}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			xsSet[p.X] = struct{}{}
+		}
+	}
+	xs := make([]float64, 0, len(xsSet))
+	for x := range xsSet {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+	// Header.
+	cols := make([]string, 0, len(f.Series)+1)
+	cols = append(cols, f.XLabel)
+	for _, s := range f.Series {
+		cols = append(cols, s.Name)
+	}
+	widths := make([]int, len(cols))
+	rows := make([][]string, 0, len(xs))
+	for _, x := range xs {
+		row := make([]string, len(cols))
+		row[0] = trimFloat(x)
+		for i, s := range f.Series {
+			row[i+1] = ""
+			for _, p := range s.Points {
+				if p.X == x {
+					row[i+1] = trimFloat(p.Y)
+					break
+				}
+			}
+		}
+		rows = append(rows, row)
+	}
+	for i, c := range cols {
+		widths[i] = len(c)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	writeRow(cols)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return nil
+}
+
+// WriteCSV writes the figure as long-format CSV (figure,series,x,y).
+func (f *Figure) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "figure,series,x,y"); err != nil {
+		return err
+	}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if _, err := fmt.Fprintf(w, "%s,%s,%v,%v\n", f.ID, s.Name, p.X, p.Y); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.6g", v)
+	return s
+}
+
+// Runner produces one or more figures.
+type Runner func(scale Scale, seed uint64) ([]*Figure, error)
+
+// registry maps experiment ids to runners; populated by init() in the
+// per-figure files.
+var registry = map[string]Runner{}
+
+// register adds a runner (panics on duplicates; programmer error).
+func register(id string, r Runner) {
+	if _, dup := registry[id]; dup {
+		panic("expt: duplicate runner " + id)
+	}
+	registry[id] = r
+}
+
+// IDs lists all registered experiment ids, sorted.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes the registered experiment.
+func Run(id string, scale Scale, seed uint64) ([]*Figure, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("expt: unknown experiment %q (known: %s)", id, strings.Join(IDs(), ", "))
+	}
+	return r(scale, seed)
+}
+
+// budgetGrid returns the budget fractions of the sweep.
+func budgetGrid(scale Scale) []float64 {
+	step := 0.1
+	if scale == PaperScale {
+		step = 0.04
+	}
+	var out []float64
+	for b := 0.0; b < 1.0+1e-9; b += step {
+		out = append(out, round2(b))
+	}
+	return out
+}
+
+func round2(v float64) float64 {
+	return float64(int(v*100+0.5)) / 100
+}

@@ -1,0 +1,172 @@
+package expt
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/factcheck/cleansel/internal/core"
+	"github.com/factcheck/cleansel/internal/ev"
+	"github.com/factcheck/cleansel/internal/linalg"
+	"github.com/factcheck/cleansel/internal/model"
+	"github.com/factcheck/cleansel/internal/query"
+)
+
+func init() {
+	register("fig11", runFig11)
+}
+
+// injectGammaCovariance equips the database with the §4.5 dependency
+// model Cov(i, j) = γ^{|j−i|}·σ_i·σ_j (the farther apart two years, the
+// weaker their dependency).
+func injectGammaCovariance(db *model.DB, gamma float64) {
+	n := db.N()
+	sig := make([]float64, n)
+	for i := 0; i < n; i++ {
+		variance := db.Objects[i].Value.Variance()
+		if variance > 0 {
+			sig[i] = math.Sqrt(variance)
+		}
+	}
+	cov := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			d := j - i
+			if d < 0 {
+				d = -d
+			}
+			v := sig[i] * sig[j]
+			for k := 0; k < d; k++ {
+				v *= gamma
+			}
+			cov.Set(i, j, v)
+		}
+	}
+	db.Cov = cov
+}
+
+// runFig11 reproduces Figure 11: effectiveness under injected data
+// dependencies on CDC-firearms. Dependency-blind algorithms (everything
+// from §4.1 plus the modular Optimum) compete against the exhaustive OPT
+// and the dependency-aware GreedyDep; every chosen set is scored with the
+// *true* (Schur) expected variance.
+func runFig11(scale Scale, seed uint64) ([]*Figure, error) {
+	// (a) γ = 0.7, budget sweep.
+	w := FirearmsFairness(seed)
+	bias := w.Set.Bias()
+	injectGammaCovariance(w.DB, 0.7)
+	trueEng, err := ev.NewMVN(w.DB, bias)
+	if err != nil {
+		return nil, err
+	}
+	fracs := budgetGrid(scale)
+	figA := &Figure{
+		ID:     "fig11a",
+		Title:  "Variance in fairness after cleaning, injected dependency γ=0.7 (CDC-firearms)",
+		XLabel: "budget (fraction)",
+		YLabel: "true variance in fairness after cleaning",
+		Notes:  []string{fmt.Sprintf("initial variance %.6g", trueEng.Variance())},
+	}
+	selectors, err := fig11Selectors(w, bias)
+	if err != nil {
+		return nil, err
+	}
+	for _, sel := range selectors {
+		s, err := sweepSelector(w.DB, sel, fracs, trueEng.EV)
+		if err != nil {
+			return nil, err
+		}
+		figA.Series = append(figA.Series, s)
+	}
+
+	// (b) budget 30%, γ sweep.
+	gammas := []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.99}
+	if scale == Small {
+		gammas = []float64{0, 0.3, 0.6, 0.9}
+	}
+	figB := &Figure{
+		ID:     "fig11b",
+		Title:  "Variance in fairness vs dependency strength γ (budget 30%)",
+		XLabel: "gamma",
+		YLabel: "true variance in fairness after cleaning",
+	}
+	series := map[string]*Series{
+		"GreedyMinVar": {Name: "GreedyMinVar"},
+		"OPT":          {Name: "OPT"},
+		"GreedyDep":    {Name: "GreedyDep"},
+	}
+	for _, gamma := range gammas {
+		wg := FirearmsFairness(seed)
+		biasG := wg.Set.Bias()
+		injectGammaCovariance(wg.DB, gamma)
+		eng, err := ev.NewMVN(wg.DB, biasG)
+		if err != nil {
+			return nil, err
+		}
+		budget := wg.DB.Budget(0.3)
+
+		gmv, err := core.NewGreedyMinVarModular(stripCov(wg.DB), biasG)
+		if err != nil {
+			return nil, err
+		}
+		opt, err := core.NewOPTMinVar(wg.DB, eng)
+		if err != nil {
+			return nil, err
+		}
+		dep, err := core.NewGreedyDep(wg.DB, biasG)
+		if err != nil {
+			return nil, err
+		}
+		for name, sel := range map[string]core.Selector{
+			"GreedyMinVar": gmv, "OPT": opt, "GreedyDep": dep,
+		} {
+			T, err := sel.Select(budget)
+			if err != nil {
+				return nil, err
+			}
+			series[name].Points = append(series[name].Points, Point{X: gamma, Y: eng.EV(T)})
+		}
+	}
+	for _, name := range []string{"GreedyMinVar", "OPT", "GreedyDep"} {
+		figB.Series = append(figB.Series, *series[name])
+	}
+	return []*Figure{figA, figB}, nil
+}
+
+// fig11Selectors assembles the Figure 11(a) algorithm roster.
+func fig11Selectors(w Workload, bias *query.Affine) ([]core.Selector, error) {
+	blind := stripCov(w.DB) // dependency-unaware view of the data
+	vars := bias.Vars()
+	gmv, err := core.NewGreedyMinVarModular(blind, bias)
+	if err != nil {
+		return nil, err
+	}
+	opt, err := core.NewOptimumModular(blind, bias, 0)
+	if err != nil {
+		return nil, err
+	}
+	trueEng, err := ev.NewMVN(w.DB, bias)
+	if err != nil {
+		return nil, err
+	}
+	exh, err := core.NewOPTMinVar(w.DB, trueEng)
+	if err != nil {
+		return nil, err
+	}
+	dep, err := core.NewGreedyDep(w.DB, bias)
+	if err != nil {
+		return nil, err
+	}
+	return []core.Selector{
+		&core.GreedyNaiveCostBlind{DB: blind, Vars: vars},
+		&core.GreedyNaive{DB: blind, Vars: vars},
+		gmv,
+		opt,
+		exh,
+		dep,
+	}, nil
+}
+
+// stripCov returns a dependency-blind shallow copy of the database.
+func stripCov(db *model.DB) *model.DB {
+	return &model.DB{Objects: db.Objects}
+}

@@ -1,0 +1,180 @@
+package expt
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/factcheck/cleansel/internal/claims"
+	"github.com/factcheck/cleansel/internal/core"
+	"github.com/factcheck/cleansel/internal/datasets"
+	"github.com/factcheck/cleansel/internal/ev"
+	"github.com/factcheck/cleansel/internal/model"
+	"github.com/factcheck/cleansel/internal/query"
+	"github.com/factcheck/cleansel/internal/rng"
+)
+
+func init() {
+	register("fig8", runFig8)
+	register("fig9", runFig9)
+	register("fig10", runFig10)
+}
+
+// inActionFigures simulates the §4.3 "effectiveness in action" scenario:
+// hidden true values are drawn, each algorithm spends its budget, the
+// chosen values are revealed, and the fact-checker's posterior mean and
+// standard deviation of the uniqueness measure are reported.
+func inActionFigures(idMean, idStd, title string, w Workload, scale Scale, seed uint64) ([]*Figure, error) {
+	g := w.Set.Dup()
+	engine, err := ev.NewGroupEngine(w.DB, g)
+	if err != nil {
+		return nil, err
+	}
+	dists, err := w.DB.Discretes()
+	if err != nil {
+		return nil, err
+	}
+	r := rng.New(seed ^ 0xdecaf)
+	truth := make([]float64, w.DB.N())
+	for i, d := range dists {
+		truth[i] = d.Sample(r)
+	}
+	trueDup := w.Set.DupValue(truth)
+
+	fracs := budgetGrid(scale)
+	figMean := &Figure{
+		ID: idMean, Title: title + " — posterior mean of uniqueness",
+		XLabel: "budget (fraction)", YLabel: "mean",
+		Notes: []string{fmt.Sprintf("true duplicity of this scenario: %d", trueDup)},
+	}
+	figStd := &Figure{
+		ID: idStd, Title: title + " — posterior standard deviation of uniqueness",
+		XLabel: "budget (fraction)", YLabel: "standard deviation",
+		Notes: []string{fmt.Sprintf("true duplicity of this scenario: %d", trueDup)},
+	}
+
+	naive := &core.GreedyNaive{DB: w.DB, Vars: g.Vars()}
+	gmv, err := core.NewGreedyMinVarGroup(w.DB, g)
+	if err != nil {
+		return nil, err
+	}
+	best, err := core.NewBest(w.DB, g, 1)
+	if err != nil {
+		return nil, err
+	}
+	for _, sel := range []core.Selector{naive, gmv, best} {
+		sm := Series{Name: sel.Name()}
+		ss := Series{Name: sel.Name()}
+		for _, frac := range fracs {
+			T, err := sel.Select(w.DB.Budget(frac))
+			if err != nil {
+				return nil, err
+			}
+			known := make([]bool, w.DB.N())
+			for _, o := range T {
+				known[o] = true
+			}
+			mean, variance := engine.CondMoments(truth, known)
+			sm.Points = append(sm.Points, Point{X: frac, Y: mean})
+			ss.Points = append(ss.Points, Point{X: frac, Y: math.Sqrt(variance)})
+		}
+		figMean.Series = append(figMean.Series, sm)
+		figStd.Series = append(figStd.Series, ss)
+	}
+	return []*Figure{figMean, figStd}, nil
+}
+
+// runFig8 reproduces Figure 8 (CDC-causes uniqueness in action).
+func runFig8(scale Scale, seed uint64) ([]*Figure, error) {
+	return inActionFigures("fig8a", "fig8b", "CDC-causes in action", CausesUniqueness(seed), scale, seed)
+}
+
+// runFig9 reproduces Figure 9 (URx, Γ=100, in action).
+func runFig9(scale Scale, seed uint64) ([]*Figure, error) {
+	return inActionFigures("fig9a", "fig9b", "URx Γ=100 in action", SyntheticUniqueness(datasets.UR, 40, 100, seed), scale, seed)
+}
+
+// coveringUniquenessQuery builds the Figure 10 workload over n objects:
+// disjoint 4-value windows covering all values ("we proportionally
+// increase the number of perturbations to cover all values"), claim "as
+// low as Γ=100".
+func coveringUniquenessQuery(db *model.DB, n int) *query.GroupSum {
+	w := SyntheticUniquenessFromDB(db, 100)
+	return w.Set.Dup()
+}
+
+// SyntheticUniquenessFromDB wraps an existing synthetic database with the
+// standard Γ-claim perturbation structure (all disjoint 4-windows).
+func SyntheticUniquenessFromDB(db *model.DB, gamma float64) Workload {
+	n := db.N()
+	origStart := n - 4
+	orig := claims.WindowSum("orig", origStart, 4)
+	perturbs := claims.NonOverlappingWindows("w", n, 4, origStart, 0.5)
+	set, err := claims.NewSet(orig, claims.LowerIsStronger, gamma, perturbs)
+	if err != nil {
+		panic(err)
+	}
+	return Workload{DB: db, Set: set}
+}
+
+// runFig10 measures GreedyMinVar's running time: (a) n=10,000 with
+// increasing budget; (b) budget 5,000 with increasing n. Paper scale runs
+// the full grid up to n=10⁶.
+func runFig10(scale Scale, seed uint64) ([]*Figure, error) {
+	// (a) fixed n, varying budget.
+	nA := 10000
+	budgets := []float64{0.01, 0.05, 0.10, 0.20, 0.30}
+	if scale == Small {
+		nA = 2000
+		budgets = []float64{0.01, 0.05, 0.10}
+	}
+	figA := &Figure{
+		ID:     "fig10a",
+		Title:  fmt.Sprintf("GreedyMinVar running time (URx, n=%d, uniqueness Γ=100)", nA),
+		XLabel: "budget (fraction)",
+		YLabel: "seconds",
+	}
+	dbA := datasets.URx(nA, seed)
+	gA := coveringUniquenessQuery(dbA, nA)
+	sa := Series{Name: "GreedyMinVar"}
+	for _, frac := range budgets {
+		gmv, err := core.NewGreedyMinVarGroup(dbA, gA)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		if _, err := gmv.Select(dbA.Budget(frac)); err != nil {
+			return nil, err
+		}
+		sa.Points = append(sa.Points, Point{X: frac, Y: time.Since(start).Seconds()})
+	}
+	figA.Series = append(figA.Series, sa)
+
+	// (b) fixed budget, varying n.
+	sizes := []int{5000, 10000, 100000, 500000, 1000000}
+	if scale == Small {
+		sizes = []int{2000, 5000, 10000}
+	}
+	figB := &Figure{
+		ID:     "fig10b",
+		Title:  "GreedyMinVar running time vs dataset size (budget 5000)",
+		XLabel: "n (number of uncertain values)",
+		YLabel: "seconds",
+	}
+	sb := Series{Name: "GreedyMinVar"}
+	for _, n := range sizes {
+		db := datasets.URx(n, seed)
+		g := coveringUniquenessQuery(db, n)
+		gmv, err := core.NewGreedyMinVarGroup(db, g)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		if _, err := gmv.Select(5000); err != nil {
+			return nil, err
+		}
+		sb.Points = append(sb.Points, Point{X: float64(n), Y: time.Since(start).Seconds()})
+	}
+	figB.Series = append(figB.Series, sb)
+	return []*Figure{figA, figB}, nil
+}

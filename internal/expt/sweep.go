@@ -1,0 +1,52 @@
+package expt
+
+import (
+	"fmt"
+
+	"github.com/factcheck/cleansel/internal/core"
+	"github.com/factcheck/cleansel/internal/model"
+)
+
+// sweepSelector runs one selector across the budget fractions and scores
+// each chosen set with metric (typically the remaining expected variance).
+func sweepSelector(db *model.DB, sel core.Selector, fracs []float64, metric func(model.Set) float64) (Series, error) {
+	s := Series{Name: sel.Name()}
+	for _, frac := range fracs {
+		T, err := sel.Select(db.Budget(frac))
+		if err != nil {
+			return Series{}, fmt.Errorf("%s at budget %.2f: %w", sel.Name(), frac, err)
+		}
+		if c := T.Cost(db); c > db.Budget(frac)+1e-6 {
+			return Series{}, fmt.Errorf("%s exceeded budget: %v > %v", sel.Name(), c, db.Budget(frac))
+		}
+		s.Points = append(s.Points, Point{X: frac, Y: metric(T)})
+	}
+	return s, nil
+}
+
+// sweepRandomAvg averages the Random baseline over reps seeds, as §4.1
+// does (100 runs, error bars omitted).
+func sweepRandomAvg(db *model.DB, fracs []float64, reps int, seed uint64, metric func(model.Set) float64) (Series, error) {
+	s := Series{Name: "Random"}
+	for _, frac := range fracs {
+		var sum float64
+		for rep := 0; rep < reps; rep++ {
+			sel := &core.Random{DB: db, Seed: seed + uint64(rep)*7919}
+			T, err := sel.Select(db.Budget(frac))
+			if err != nil {
+				return Series{}, err
+			}
+			sum += metric(T)
+		}
+		s.Points = append(s.Points, Point{X: frac, Y: sum / float64(reps)})
+	}
+	return s, nil
+}
+
+// randomReps returns the number of Random repetitions per scale.
+func randomReps(scale Scale) int {
+	if scale == PaperScale {
+		return 100
+	}
+	return 20
+}

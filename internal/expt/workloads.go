@@ -1,0 +1,237 @@
+package expt
+
+import (
+	"fmt"
+
+	"github.com/factcheck/cleansel/internal/claims"
+	"github.com/factcheck/cleansel/internal/datasets"
+	"github.com/factcheck/cleansel/internal/model"
+)
+
+// Workload bundles a database with the perturbation set of the claim
+// being checked.
+type Workload struct {
+	DB  *model.DB
+	Set *claims.Set
+}
+
+// lambdaDecay is the sensibility decay rate used throughout §4.1.
+const lambdaDecay = 1.5
+
+// AdoptionsFairness is the §4.1 Giuliani workload: the window-aggregate
+// comparison 1993–1996 vs 1989–1992 over Adoptions with 18 span
+// perturbations, sensibility decaying at λ=1.5 with the ending-year
+// distance.
+func AdoptionsFairness(seed uint64) Workload {
+	db := datasets.Adoptions(seed)
+	orig := claims.WindowComparison("adoptions-93-96-vs-89-92", 0, 4, 4)
+	all := claims.SlidingComparisons("cmp", db.N(), 4, 0, lambdaDecay)
+	perturbs := all[:0:0]
+	for _, p := range all {
+		if p.Distance > 0 { // original span excluded: 18 remain
+			perturbs = append(perturbs, p)
+		}
+	}
+	set, err := claims.NewSet(orig, claims.HigherIsStronger, orig.Eval(db.Currents()), perturbs)
+	if err != nil {
+		panic(err)
+	}
+	return Workload{DB: db, Set: set}
+}
+
+// FirearmsFairness compares back-to-back four-year firearm-injury windows
+// (2001–2004 vs 2005–2008) with the 10 span perturbations of §4.1.
+func FirearmsFairness(seed uint64) Workload {
+	db := datasets.CDCFirearms(seed)
+	orig := claims.WindowComparison("firearms-05-08-vs-01-04", 0, 4, 4)
+	perturbs := claims.SlidingComparisons("cmp", db.N(), 4, 0, lambdaDecay)
+	set, err := claims.NewSet(orig, claims.HigherIsStronger, orig.Eval(db.Currents()), perturbs)
+	if err != nil {
+		panic(err)
+	}
+	return Workload{DB: db, Set: set}
+}
+
+// causesShareClaim builds "transportation injuries exceed 30% of all
+// other causes combined over the 2-year window starting at year index s".
+func causesShareClaim(s int) *claims.Claim {
+	coef := map[int]float64{}
+	for _, yi := range []int{s, s + 1} {
+		coef[datasets.CDCCausesIndex(datasets.Transportation, yi)] += 1
+		for _, c := range []datasets.Cause{datasets.Firearms, datasets.Drowning, datasets.Falls} {
+			coef[datasets.CDCCausesIndex(c, yi)] -= 0.3
+		}
+	}
+	return claims.NewClaim(fmt.Sprintf("transport-share@%d", s), 0, coef)
+}
+
+// CausesFairness is the §4.1 CDC-causes workload: the transportation
+// share claim over the last two years with 16 sliding-window
+// perturbations.
+func CausesFairness(seed uint64) Workload {
+	db := datasets.CDCCauses(seed)
+	years := len(datasets.CDCYears)
+	origStart := years - 2 // 2016–2017
+	orig := causesShareClaim(origStart)
+	var perturbs []claims.Perturbed
+	for s := 0; s+1 < years; s++ {
+		d := float64(origStart - s)
+		if d < 0 {
+			d = -d
+		}
+		perturbs = append(perturbs, claims.Perturbed{
+			Claim:       causesShareClaim(s),
+			Sensibility: claims.ExponentialSensibility(lambdaDecay, d),
+			Distance:    d,
+		})
+	}
+	set, err := claims.NewSet(orig, claims.HigherIsStronger, orig.Eval(db.Currents()), perturbs)
+	if err != nil {
+		panic(err)
+	}
+	return Workload{DB: db, Set: set}
+}
+
+// FirearmsUniqueness is the §4.2 workload: a two-year window of firearm
+// injuries claimed to be "as low as Γ", checked against the 8 disjoint
+// two-year-window perturbations over the 6-point discretization. The
+// claim anchors at the start of the series: our embedded estimates rise
+// over time, so a low-claim is only plausible (and its duplicity only
+// uncertain) for the early windows — the analogue of the paper's setup,
+// where the claim was plausible at the current values.
+func FirearmsUniqueness(seed uint64) Workload {
+	db := datasets.CDCFirearms(seed).Discretized(6)
+	years := db.N()
+	orig := claims.WindowSum("firearms-01-02", 0, 2)
+	perturbs := claims.NonOverlappingWindows("w", years, 2, 0, 1.0)
+	set, err := claims.NewSet(orig, claims.LowerIsStronger, orig.Eval(db.Currents()), perturbs)
+	if err != nil {
+		panic(err)
+	}
+	return Workload{DB: db, Set: set}
+}
+
+// causesSumClaim sums all four causes over the 2-year window starting at
+// year index s (8 object values).
+func causesSumClaim(s int) *claims.Claim {
+	coef := map[int]float64{}
+	for _, yi := range []int{s, s + 1} {
+		for c := datasets.Firearms; c < datasets.NumCauses; c++ {
+			coef[datasets.CDCCausesIndex(c, yi)] = 1
+		}
+	}
+	return claims.NewClaim(fmt.Sprintf("all-causes@%d", s), 0, coef)
+}
+
+// CausesUniqueness is the §4.2 CDC-causes workload over the 4-point
+// discretization: 8 perturbations, each summing 8 object values. Like
+// FirearmsUniqueness, the low-claim anchors at the first window of the
+// (rising) series so its duplicity is genuinely uncertain.
+func CausesUniqueness(seed uint64) Workload {
+	db := datasets.CDCCauses(seed).Discretized(4)
+	years := len(datasets.CDCYears)
+	origStart := 0
+	orig := causesSumClaim(origStart)
+	var perturbs []claims.Perturbed
+	for s := 0; s+2 <= years; s += 2 {
+		d := float64(origStart-s) / 2
+		if d < 0 {
+			d = -d
+		}
+		perturbs = append(perturbs, claims.Perturbed{
+			Claim:       causesSumClaim(s),
+			Sensibility: claims.ExponentialSensibility(1.0, d),
+			Distance:    d,
+		})
+	}
+	set, err := claims.NewSet(orig, claims.LowerIsStronger, orig.Eval(db.Currents()), perturbs)
+	if err != nil {
+		panic(err)
+	}
+	return Workload{DB: db, Set: set}
+}
+
+// SyntheticUniqueness is the §4.2 synthetic workload: n values, the claim
+// sums 4 consecutive values and asserts the sum is as low as Γ;
+// perturbations are the n/4 disjoint windows.
+func SyntheticUniqueness(kind datasets.SyntheticKind, n int, gamma float64, seed uint64) Workload {
+	db := datasets.Synthetic(kind, n, seed)
+	origStart := n - 4
+	orig := claims.WindowSum("orig", origStart, 4)
+	perturbs := claims.NonOverlappingWindows("w", n, 4, origStart, 0.5)
+	set, err := claims.NewSet(orig, claims.LowerIsStronger, gamma, perturbs)
+	if err != nil {
+		panic(err)
+	}
+	return Workload{DB: db, Set: set}
+}
+
+// FirearmsRobustness is the §4.2 robustness workload: "the number of
+// firearm injuries over the last two years is as high as Γ′".
+func FirearmsRobustness(seed uint64) Workload {
+	db := datasets.CDCFirearms(seed).Discretized(6)
+	years := db.N()
+	orig := claims.WindowSum("firearms-last-2y", years-2, 2)
+	perturbs := claims.NonOverlappingWindows("w", years, 2, years-2, 1.0)
+	set, err := claims.NewSet(orig, claims.HigherIsStronger, orig.Eval(db.Currents()), perturbs)
+	if err != nil {
+		panic(err)
+	}
+	return Workload{DB: db, Set: set}
+}
+
+// SyntheticRobustness is the §4.2 synthetic robustness workload: n=100
+// values, 25 disjoint window perturbations, claim "as high as Γ′".
+func SyntheticRobustness(kind datasets.SyntheticKind, n int, gammaPrime float64, seed uint64) Workload {
+	db := datasets.Synthetic(kind, n, seed)
+	origStart := n - 4
+	orig := claims.WindowSum("orig", origStart, 4)
+	perturbs := claims.NonOverlappingWindows("w", n, 4, origStart, 0.5)
+	set, err := claims.NewSet(orig, claims.HigherIsStronger, gammaPrime, perturbs)
+	if err != nil {
+		panic(err)
+	}
+	return Workload{DB: db, Set: set}
+}
+
+// FirearmsLowest is the §4.3 counter-finding workload: the claim that the
+// 2001–2004 window had the fewest firearm injuries in recent history.
+// Direction is HigherIsStronger so that a *lower* perturbation window
+// weakens the claim — i.e., is a counterargument — matching the bias/
+// MaxPr machinery (§2.2).
+func FirearmsLowest(seed uint64) Workload {
+	db := datasets.CDCFirearms(seed)
+	orig := claims.WindowSum("firearms-01-04", 0, 4)
+	all := claims.SlidingWindows("w", db.N(), 4, 0, 0.35)
+	perturbs := all[:0:0]
+	for _, p := range all {
+		if p.Distance > 0 {
+			perturbs = append(perturbs, p)
+		}
+	}
+	set, err := claims.NewSet(orig, claims.HigherIsStronger, orig.Eval(db.Currents()), perturbs)
+	if err != nil {
+		panic(err)
+	}
+	return Workload{DB: db, Set: set}
+}
+
+// SyntheticLowest is the §4.3 URx counter-finding workload: the original
+// window's current sum is the reference; a lower window counters it.
+func SyntheticLowest(kind datasets.SyntheticKind, n int, seed uint64) Workload {
+	db := datasets.Synthetic(kind, n, seed)
+	origStart := n - 4
+	orig := claims.WindowSum("orig", origStart, 4)
+	all := claims.NonOverlappingWindows("w", n, 4, origStart, 0.35)
+	perturbs := all[:0:0]
+	for _, p := range all {
+		if p.Distance > 0 {
+			perturbs = append(perturbs, p)
+		}
+	}
+	set, err := claims.NewSet(orig, claims.HigherIsStronger, orig.Eval(db.Currents()), perturbs)
+	if err != nil {
+		panic(err)
+	}
+	return Workload{DB: db, Set: set}
+}

@@ -1,0 +1,297 @@
+// Package knapsack implements the 0/1 knapsack solvers that the modular
+// MinVar/MaxPr reductions of §3.2 need:
+//
+//   - MaxDP — exact pseudo-polynomial maximization (Lemmas 3.2/3.3's
+//     "Optimum" baseline): max Σ v_i s.t. Σ c_i ≤ C.
+//   - MinDP — exact pseudo-polynomial minimum-knapsack (covering) solver:
+//     min Σ v_i s.t. Σ c_i ≥ C̄; the inner step of the submodular MinVar
+//     algorithm (§3.3).
+//   - FPTAS — value-scaled (1−ε)-approximate maximization (Lemma 3.2).
+//   - Greedy — density greedy with the best-single-item check, the
+//     2-approximation used inside Algorithm 1.
+//
+// Costs are arbitrary non-negative floats; DP solvers discretize them at a
+// configurable precision (costs in all paper workloads are integers, so
+// precision 1 is exact there).
+package knapsack
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Result is a solved knapsack instance.
+type Result struct {
+	Indices []int   // chosen item indices, ascending
+	Value   float64 // Σ value over chosen
+	Cost    float64 // Σ cost over chosen
+}
+
+func validate(values, costs []float64) error {
+	if len(values) != len(costs) {
+		return fmt.Errorf("knapsack: %d values vs %d costs", len(values), len(costs))
+	}
+	for i, v := range values {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return fmt.Errorf("knapsack: invalid value %v at %d", v, i)
+		}
+		if c := costs[i]; math.IsNaN(c) || math.IsInf(c, 0) || c < 0 {
+			return fmt.Errorf("knapsack: invalid cost %v at %d", c, i)
+		}
+	}
+	return nil
+}
+
+// scale converts float costs to integers at the given precision
+// (ceil for item costs — never understate what an item consumes — and
+// floor for the budget — never allow more than the real budget).
+func scale(costs []float64, precision float64) []int {
+	out := make([]int, len(costs))
+	for i, c := range costs {
+		out[i] = int(math.Ceil(c/precision - 1e-9))
+	}
+	return out
+}
+
+func sum(xs []float64, idx []int) float64 {
+	var s float64
+	for _, i := range idx {
+		s += xs[i]
+	}
+	return s
+}
+
+// MaxDP solves max Σ v_i s.t. Σ c_i ≤ budget exactly (after cost
+// discretization at precision). Time O(n·C), memory O(n·C) bits for
+// reconstruction.
+func MaxDP(values, costs []float64, budget, precision float64) (Result, error) {
+	if err := validate(values, costs); err != nil {
+		return Result{}, err
+	}
+	if precision <= 0 {
+		return Result{}, errors.New("knapsack: precision must be positive")
+	}
+	n := len(values)
+	ic := scale(costs, precision)
+	C := int(math.Floor(budget/precision + 1e-9))
+	if C < 0 {
+		C = 0
+	}
+	// dp[c] = best value with capacity c; keep[i][c] = item i taken at c.
+	dp := make([]float64, C+1)
+	keep := make([][]bool, n)
+	for i := 0; i < n; i++ {
+		keep[i] = make([]bool, C+1)
+		ci, vi := ic[i], values[i]
+		if ci > C {
+			continue
+		}
+		for c := C; c >= ci; c-- {
+			if cand := dp[c-ci] + vi; cand > dp[c] {
+				dp[c] = cand
+				keep[i][c] = true
+			}
+		}
+	}
+	// Reconstruct.
+	res := Result{Value: dp[C]}
+	c := C
+	for i := n - 1; i >= 0; i-- {
+		if keep[i][c] {
+			res.Indices = append(res.Indices, i)
+			c -= ic[i]
+		}
+	}
+	sort.Ints(res.Indices)
+	res.Cost = sum(costs, res.Indices)
+	return res, nil
+}
+
+// MinDP solves the covering knapsack min Σ v_i s.t. Σ c_i ≥ lower exactly
+// (after cost discretization: floor for item coverage — never overstate
+// what an item covers — and ceil for the requirement).
+func MinDP(values, costs []float64, lower, precision float64) (Result, error) {
+	if err := validate(values, costs); err != nil {
+		return Result{}, err
+	}
+	if precision <= 0 {
+		return Result{}, errors.New("knapsack: precision must be positive")
+	}
+	n := len(values)
+	ic := make([]int, n)
+	for i, c := range costs {
+		ic[i] = int(math.Floor(c/precision + 1e-9))
+	}
+	L := int(math.Ceil(lower/precision - 1e-9))
+	if L <= 0 {
+		return Result{}, nil // empty set covers a non-positive requirement
+	}
+	const inf = math.MaxFloat64 / 4
+	// dp[i][j] = min value over items 0..i−1 with covered cost ≥ j.
+	// Taking item i from requirement j leaves requirement max(0, j−c_i).
+	dp := make([][]float64, n+1)
+	dp[0] = make([]float64, L+1)
+	for j := 1; j <= L; j++ {
+		dp[0][j] = inf
+	}
+	for i := 0; i < n; i++ {
+		dp[i+1] = make([]float64, L+1)
+		ci, vi := ic[i], values[i]
+		for j := 0; j <= L; j++ {
+			best := dp[i][j] // skip item i
+			prev := j - ci
+			if prev < 0 {
+				prev = 0
+			}
+			if dp[i][prev] < inf {
+				if cand := dp[i][prev] + vi; cand < best {
+					best = cand
+				}
+			}
+			dp[i+1][j] = best
+		}
+	}
+	if dp[n][L] >= inf {
+		return Result{}, errors.New("knapsack: covering requirement infeasible")
+	}
+	res := Result{Value: dp[n][L]}
+	j := L
+	for i := n; i >= 1; i-- {
+		if dp[i][j] == dp[i-1][j] {
+			continue
+		}
+		res.Indices = append(res.Indices, i-1)
+		j -= ic[i-1]
+		if j < 0 {
+			j = 0
+		}
+	}
+	sort.Ints(res.Indices)
+	res.Cost = sum(costs, res.Indices)
+	return res, nil
+}
+
+// Greedy is the density-greedy 2-approximation for max-knapsack used by
+// Algorithm 1: take items in decreasing v/c order while they fit, then
+// compare against the best single affordable item ([19], §3.1).
+func Greedy(values, costs []float64, budget float64) (Result, error) {
+	if err := validate(values, costs); err != nil {
+		return Result{}, err
+	}
+	n := len(values)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ia, ib := order[a], order[b]
+		da := density(values[ia], costs[ia])
+		db := density(values[ib], costs[ib])
+		if da != db {
+			return da > db
+		}
+		return ia < ib
+	})
+	var picked []int
+	var cost, value float64
+	for _, i := range order {
+		if cost+costs[i] <= budget {
+			picked = append(picked, i)
+			cost += costs[i]
+			value += values[i]
+		}
+	}
+	// Best single item that fits.
+	best := -1
+	for i := 0; i < n; i++ {
+		if costs[i] <= budget && (best < 0 || values[i] > values[best]) {
+			best = i
+		}
+	}
+	if best >= 0 && values[best] > value {
+		picked = []int{best}
+		value = values[best]
+		cost = costs[best]
+	}
+	sort.Ints(picked)
+	return Result{Indices: picked, Value: value, Cost: cost}, nil
+}
+
+func density(v, c float64) float64 {
+	if c == 0 {
+		if v == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return v / c
+}
+
+// FPTAS returns a (1−eps)-approximate max-knapsack solution in
+// O(n³/eps) time by value scaling (Lemma 3.2).
+func FPTAS(values, costs []float64, budget, eps float64) (Result, error) {
+	if err := validate(values, costs); err != nil {
+		return Result{}, err
+	}
+	if eps <= 0 || eps >= 1 {
+		return Result{}, fmt.Errorf("knapsack: eps must be in (0,1), got %v", eps)
+	}
+	n := len(values)
+	maxV := 0.0
+	for i, v := range values {
+		if costs[i] <= budget && v > maxV {
+			maxV = v
+		}
+	}
+	if maxV == 0 {
+		return Result{}, nil
+	}
+	K := eps * maxV / float64(n)
+	scaled := make([]int, n)
+	totalScaled := 0
+	for i, v := range values {
+		scaled[i] = int(math.Floor(v / K))
+		totalScaled += scaled[i]
+	}
+	const inf = math.MaxFloat64 / 4
+	// dp[s] = min cost achieving scaled value exactly s.
+	dp := make([]float64, totalScaled+1)
+	for s := 1; s <= totalScaled; s++ {
+		dp[s] = inf
+	}
+	keep := make([][]bool, n)
+	for i := 0; i < n; i++ {
+		keep[i] = make([]bool, totalScaled+1)
+		si, ci := scaled[i], costs[i]
+		for s := totalScaled; s >= si; s-- {
+			if dp[s-si] >= inf {
+				continue
+			}
+			if cand := dp[s-si] + ci; cand < dp[s] {
+				dp[s] = cand
+				keep[i][s] = true
+			}
+		}
+	}
+	bestS := 0
+	for s := totalScaled; s >= 0; s-- {
+		if dp[s] <= budget+1e-9 {
+			bestS = s
+			break
+		}
+	}
+	var res Result
+	s := bestS
+	for i := n - 1; i >= 0; i-- {
+		if s >= scaled[i] && keep[i][s] {
+			res.Indices = append(res.Indices, i)
+			s -= scaled[i]
+		}
+	}
+	sort.Ints(res.Indices)
+	res.Value = sum(values, res.Indices)
+	res.Cost = sum(costs, res.Indices)
+	return res, nil
+}

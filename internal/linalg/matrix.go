@@ -1,0 +1,344 @@
+// Package linalg implements the small amount of dense linear algebra the
+// library needs to model correlated data errors: symmetric matrices,
+// Cholesky factorization, SPD solves, and the Schur-complement conditional
+// covariance of a multivariate normal. It is written for clarity at the
+// problem sizes of the paper (tens of variables), not BLAS-level speed.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len Rows*Cols, Data[i*Cols+j]
+}
+
+// NewMatrix returns a zero r×c matrix.
+func NewMatrix(r, c int) *Matrix {
+	if r < 0 || c < 0 {
+		panic("linalg: negative dimension")
+	}
+	return &Matrix{Rows: r, Cols: c, Data: make([]float64, r*c)}
+}
+
+// FromRows builds a matrix from row slices (all rows must share a length).
+func FromRows(rows [][]float64) *Matrix {
+	r := len(rows)
+	if r == 0 {
+		return NewMatrix(0, 0)
+	}
+	c := len(rows[0])
+	m := NewMatrix(r, c)
+	for i, row := range rows {
+		if len(row) != c {
+			panic("linalg: ragged rows")
+		}
+		copy(m.Data[i*c:(i+1)*c], row)
+	}
+	return m
+}
+
+// Identity returns the n×n identity.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// T returns the transpose.
+func (m *Matrix) T() *Matrix {
+	out := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Set(j, i, m.At(i, j))
+		}
+	}
+	return out
+}
+
+// Mul returns m·b.
+func (m *Matrix) Mul(b *Matrix) *Matrix {
+	if m.Cols != b.Rows {
+		panic(fmt.Sprintf("linalg: dimension mismatch %dx%d · %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(m.Rows, b.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for k := 0; k < m.Cols; k++ {
+			a := m.At(i, k)
+			if a == 0 {
+				continue
+			}
+			for j := 0; j < b.Cols; j++ {
+				out.Data[i*out.Cols+j] += a * b.At(k, j)
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns m·x for a column vector x.
+func (m *Matrix) MulVec(x []float64) []float64 {
+	if m.Cols != len(x) {
+		panic("linalg: MulVec dimension mismatch")
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		var s float64
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Sub returns m − b.
+func (m *Matrix) Sub(b *Matrix) *Matrix {
+	if m.Rows != b.Rows || m.Cols != b.Cols {
+		panic("linalg: Sub dimension mismatch")
+	}
+	out := m.Clone()
+	for i := range out.Data {
+		out.Data[i] -= b.Data[i]
+	}
+	return out
+}
+
+// Submatrix extracts rows ri and columns ci (index lists, in order).
+func (m *Matrix) Submatrix(ri, ci []int) *Matrix {
+	out := NewMatrix(len(ri), len(ci))
+	for a, i := range ri {
+		for b, j := range ci {
+			out.Set(a, b, m.At(i, j))
+		}
+	}
+	return out
+}
+
+// IsSymmetric reports whether m is square and symmetric within tol.
+func (m *Matrix) IsSymmetric(tol float64) bool {
+	if m.Rows != m.Cols {
+		return false
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := i + 1; j < m.Cols; j++ {
+			if math.Abs(m.At(i, j)-m.At(j, i)) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ErrNotPD is returned when a Cholesky factorization encounters a pivot
+// that is not positive.
+var ErrNotPD = errors.New("linalg: matrix is not positive definite")
+
+// Cholesky computes the lower-triangular L with L·Lᵀ = m. It returns
+// ErrNotPD if m is not (numerically) positive definite.
+func Cholesky(m *Matrix) (*Matrix, error) {
+	if m.Rows != m.Cols {
+		return nil, errors.New("linalg: Cholesky of non-square matrix")
+	}
+	n := m.Rows
+	l := NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		d := m.At(j, j)
+		for k := 0; k < j; k++ {
+			d -= l.At(j, k) * l.At(j, k)
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, ErrNotPD
+		}
+		l.Set(j, j, math.Sqrt(d))
+		for i := j + 1; i < n; i++ {
+			s := m.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s/l.At(j, j))
+		}
+	}
+	return l, nil
+}
+
+// SolveSPD solves m·x = b for symmetric positive definite m via Cholesky.
+func SolveSPD(m *Matrix, b []float64) ([]float64, error) {
+	l, err := Cholesky(m)
+	if err != nil {
+		return nil, err
+	}
+	return solveChol(l, b), nil
+}
+
+// solveChol solves L·Lᵀ·x = b given the Cholesky factor L.
+func solveChol(l *Matrix, b []float64) []float64 {
+	n := l.Rows
+	// Forward solve L·y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l.At(i, k) * y[k]
+		}
+		y[i] = s / l.At(i, i)
+	}
+	// Back solve Lᵀ·x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x
+}
+
+// InverseSPD returns the inverse of a symmetric positive definite matrix.
+func InverseSPD(m *Matrix) (*Matrix, error) {
+	l, err := Cholesky(m)
+	if err != nil {
+		return nil, err
+	}
+	n := m.Rows
+	inv := NewMatrix(n, n)
+	e := make([]float64, n)
+	for j := 0; j < n; j++ {
+		for i := range e {
+			e[i] = 0
+		}
+		e[j] = 1
+		col := solveChol(l, e)
+		for i := 0; i < n; i++ {
+			inv.Set(i, j, col[i])
+		}
+	}
+	return inv, nil
+}
+
+// QuadForm returns xᵀ·m·x.
+func QuadForm(m *Matrix, x []float64) float64 {
+	if m.Rows != len(x) || m.Cols != len(x) {
+		panic("linalg: QuadForm dimension mismatch")
+	}
+	var total float64
+	for i := 0; i < m.Rows; i++ {
+		var row float64
+		for j := 0; j < m.Cols; j++ {
+			row += m.At(i, j) * x[j]
+		}
+		total += x[i] * row
+	}
+	return total
+}
+
+// ConditionalCovariance returns the covariance of X_keep given X_cond = v
+// under a joint zero-mean normal with covariance sigma:
+//
+//	Σ_{keep|cond} = Σ_kk − Σ_kc · Σ_cc⁻¹ · Σ_ck   (Schur complement)
+//
+// cond may be empty, in which case the marginal covariance of keep is
+// returned. The result does not depend on the conditioning value v, which
+// is why none is passed.
+func ConditionalCovariance(sigma *Matrix, keep, cond []int) (*Matrix, error) {
+	skk := sigma.Submatrix(keep, keep)
+	if len(cond) == 0 {
+		return skk, nil
+	}
+	skc := sigma.Submatrix(keep, cond)
+	scc := sigma.Submatrix(cond, cond)
+	l, err := Cholesky(scc)
+	if err != nil {
+		return nil, err
+	}
+	// Compute Σ_kc · Σ_cc⁻¹ · Σ_ck column by column: solve Σ_cc z = Σ_ck[:,j].
+	n := len(keep)
+	c := len(cond)
+	adj := NewMatrix(n, n)
+	col := make([]float64, c)
+	for j := 0; j < n; j++ {
+		for i := 0; i < c; i++ {
+			col[i] = skc.At(j, i) // Σ_ck[:, j] = Σ_kc[j, :]ᵀ
+		}
+		z := solveChol(l, col)
+		for i := 0; i < n; i++ {
+			var s float64
+			for k := 0; k < c; k++ {
+				s += skc.At(i, k) * z[k]
+			}
+			adj.Set(i, j, s)
+		}
+	}
+	return skk.Sub(adj), nil
+}
+
+// ConditionalMeanShift returns the matrix B = Σ_kc · Σ_cc⁻¹ such that
+// E[X_keep | X_cond = v] = μ_keep + B · (v − μ_cond).
+func ConditionalMeanShift(sigma *Matrix, keep, cond []int) (*Matrix, error) {
+	if len(cond) == 0 {
+		return NewMatrix(len(keep), 0), nil
+	}
+	skc := sigma.Submatrix(keep, cond)
+	scc := sigma.Submatrix(cond, cond)
+	inv, err := InverseSPD(scc)
+	if err != nil {
+		return nil, err
+	}
+	return skc.Mul(inv), nil
+}
+
+// NearestPSDJitter adds a small multiple of the identity until the matrix
+// becomes positive definite, returning the jittered copy. It is used to
+// repair covariance matrices assembled from data that are PSD only up to
+// round-off. The total jitter is capped at ~1e-5 of the mean diagonal, so
+// genuinely indefinite matrices still fail with ErrNotPD rather than being
+// silently distorted into a different model.
+func NearestPSDJitter(m *Matrix) (*Matrix, error) {
+	if !m.IsSymmetric(1e-8) {
+		return nil, errors.New("linalg: jitter requires a symmetric matrix")
+	}
+	// Start from a jitter proportional to the mean diagonal magnitude.
+	var diag float64
+	for i := 0; i < m.Rows; i++ {
+		diag += math.Abs(m.At(i, i))
+	}
+	if m.Rows > 0 {
+		diag /= float64(m.Rows)
+	}
+	jitter := diag * 1e-12
+	if jitter == 0 {
+		jitter = 1e-12
+	}
+	cur := m.Clone()
+	for attempt := 0; attempt < 23; attempt++ {
+		if _, err := Cholesky(cur); err == nil {
+			return cur, nil
+		}
+		for i := 0; i < cur.Rows; i++ {
+			cur.Set(i, i, cur.At(i, i)+jitter)
+		}
+		jitter *= 2
+	}
+	return nil, ErrNotPD
+}

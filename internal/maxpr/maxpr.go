@@ -1,0 +1,375 @@
+// Package maxpr evaluates the MaxPr objective of Eq. (2),
+//
+//	P(T) = Pr[ f(X) < f(u) − τ | X_{O\T} = u_{O\T} ],
+//
+// the probability that cleaning the subset T while everything else keeps
+// its current value produces a "surprise": a drop of more than τ in the
+// query result, e.g. the bias of a claim falling enough to expose a strong
+// counterargument (§2.2).
+//
+// Evaluators, from most to least structured:
+//
+//   - NormalAffine  — independent normal errors + affine f: the drop
+//     D = Σ_{i∈T} a_i·(X_i − u_i) is normal, so P(T) = Φ((−τ−μ_D)/σ_D)
+//     (Lemma 3.1/3.3).
+//   - MVNAffine     — correlated normal errors: conditional law of X_T
+//     given X_{O\T} = u via the Schur complement.
+//   - DiscreteAffine — independent discrete errors: D by exact
+//     convolution.
+//   - MonteCarlo    — arbitrary f: sampling fallback.
+package maxpr
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/factcheck/cleansel/internal/dist"
+	"github.com/factcheck/cleansel/internal/linalg"
+	"github.com/factcheck/cleansel/internal/model"
+	"github.com/factcheck/cleansel/internal/numeric"
+	"github.com/factcheck/cleansel/internal/query"
+	"github.com/factcheck/cleansel/internal/rng"
+)
+
+// Evaluator computes the MaxPr objective for subsets of a fixed problem.
+type Evaluator interface {
+	// Prob returns P(T). By definition P(∅) = 0 for τ ≥ 0.
+	Prob(T model.Set) float64
+}
+
+// NormalAffine is the closed-form evaluator for independent normal errors
+// and an affine query function.
+type NormalAffine struct {
+	a   []float64 // dense coefficients
+	mu  []float64 // value-model means
+	sd  []float64 // value-model standard deviations
+	u   []float64 // current values
+	tau float64
+}
+
+// NewNormalAffine builds the evaluator. Every object value must be
+// dist.Normal and the database independent.
+func NewNormalAffine(db *model.DB, f *query.Affine, tau float64) (*NormalAffine, error) {
+	if tau < 0 {
+		return nil, fmt.Errorf("maxpr: negative tau %v", tau)
+	}
+	if db.Cov != nil {
+		return nil, errors.New("maxpr: NormalAffine requires independent values")
+	}
+	ns, ok := db.Normals()
+	if !ok {
+		return nil, errors.New("maxpr: NormalAffine requires normal value models")
+	}
+	n := db.N()
+	e := &NormalAffine{a: f.Dense(n), mu: make([]float64, n), sd: make([]float64, n), u: db.Currents(), tau: tau}
+	for i, nm := range ns {
+		e.mu[i] = nm.Mu
+		e.sd[i] = nm.Sigma
+	}
+	return e, nil
+}
+
+// Prob returns Φ((−τ − μ_D)/σ_D) with μ_D = Σ_{i∈T} a_i(μ_i−u_i) and
+// σ_D² = Σ_{i∈T} a_i²σ_i².
+func (e *NormalAffine) Prob(T model.Set) float64 {
+	if len(T) == 0 {
+		return 0
+	}
+	var mean, varD float64
+	for _, i := range T {
+		mean += e.a[i] * (e.mu[i] - e.u[i])
+		varD += e.a[i] * e.a[i] * e.sd[i] * e.sd[i]
+	}
+	return tailProb(mean, varD, e.tau)
+}
+
+// tailProb returns Pr[N(mean, varD) < −τ].
+func tailProb(mean, varD, tau float64) float64 {
+	if varD <= 0 {
+		if mean < -tau {
+			return 1
+		}
+		return 0
+	}
+	return numeric.NormalCDF((-tau - mean) / math.Sqrt(varD))
+}
+
+// MVNAffine handles correlated normal errors: the cleaned values, given
+// that everything else sits at its current value, follow the conditional
+// normal law of the joint model.
+type MVNAffine struct {
+	db  *model.DB
+	a   []float64
+	mu  []float64
+	u   []float64
+	cov *linalg.Matrix
+	tau float64
+	// marginal, when true, uses the paper's simplified semantics: cleaning
+	// draws X_T from its marginal (ignoring what conditioning on the
+	// uncleaned current values implies).
+	marginal bool
+}
+
+// NewMVNAffine builds the evaluator; the database must carry a covariance
+// (or one is assembled from marginal variances, reducing to independence).
+func NewMVNAffine(db *model.DB, f *query.Affine, tau float64, marginal bool) (*MVNAffine, error) {
+	if tau < 0 {
+		return nil, fmt.Errorf("maxpr: negative tau %v", tau)
+	}
+	n := db.N()
+	cov := db.Cov
+	if cov == nil {
+		cov = linalg.NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			cov.Set(i, i, db.Objects[i].Value.Variance())
+		}
+	}
+	return &MVNAffine{
+		db: db, a: f.Dense(n), mu: db.Means(), u: db.Currents(),
+		cov: cov, tau: tau, marginal: marginal,
+	}, nil
+}
+
+// Prob evaluates the objective under the selected semantics.
+func (e *MVNAffine) Prob(T model.Set) float64 {
+	if len(T) == 0 {
+		return 0
+	}
+	if e.marginal {
+		var mean float64
+		for _, i := range T {
+			mean += e.a[i] * (e.mu[i] - e.u[i])
+		}
+		at := make([]float64, len(T))
+		for j, i := range T {
+			at[j] = e.a[i]
+		}
+		varD := linalg.QuadForm(e.cov.Submatrix(T, T), at)
+		return tailProb(mean, varD, e.tau)
+	}
+	cond := T.Complement(e.db.N())
+	cc, err := linalg.ConditionalCovariance(e.cov, T, cond)
+	if err != nil {
+		return 0
+	}
+	shift, err := linalg.ConditionalMeanShift(e.cov, T, cond)
+	if err != nil {
+		return 0
+	}
+	dev := make([]float64, len(cond))
+	for j, i := range cond {
+		dev[j] = e.u[i] - e.mu[i]
+	}
+	adj := shift.MulVec(dev)
+	var mean float64
+	at := make([]float64, len(T))
+	for j, i := range T {
+		condMean := e.mu[i] + adj[j]
+		mean += e.a[i] * (condMean - e.u[i])
+		at[j] = e.a[i]
+	}
+	varD := linalg.QuadForm(cc, at)
+	return tailProb(mean, varD, e.tau)
+}
+
+// DiscreteAffine evaluates the objective exactly for independent discrete
+// errors by convolving the drop D = Σ_{i∈T} a_i(X_i − u_i).
+type DiscreteAffine struct {
+	dists []*dist.Discrete
+	a     []float64
+	u     []float64
+	tau   float64
+	// maxStates caps the convolution support; larger requests error out so
+	// callers can fall back to Monte Carlo.
+	maxStates int
+}
+
+// DefaultMaxStates bounds exact convolution work (supports ≤ 6 and claims
+// over tens of objects stay far below it).
+const DefaultMaxStates = 1 << 22
+
+// NewDiscreteAffine builds the evaluator.
+func NewDiscreteAffine(db *model.DB, f *query.Affine, tau float64, maxStates int) (*DiscreteAffine, error) {
+	if tau < 0 {
+		return nil, fmt.Errorf("maxpr: negative tau %v", tau)
+	}
+	if db.Cov != nil {
+		return nil, errors.New("maxpr: DiscreteAffine requires independent values")
+	}
+	ds, err := db.Discretes()
+	if err != nil {
+		return nil, fmt.Errorf("maxpr: DiscreteAffine: %w", err)
+	}
+	if maxStates <= 0 {
+		maxStates = DefaultMaxStates
+	}
+	return &DiscreteAffine{dists: ds, a: f.Dense(db.N()), u: db.Currents(), tau: tau, maxStates: maxStates}, nil
+}
+
+// Prob returns Pr[D < −τ] by exact convolution, or an NaN-free 0 with
+// ErrTooLarge via ProbErr when the state space would explode. Prob itself
+// falls back to a conservative exact-enumeration refusal by panicking is
+// avoided: use ProbErr when the subset can be large.
+func (e *DiscreteAffine) Prob(T model.Set) float64 {
+	p, err := e.ProbErr(T)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// ErrTooLarge signals that exact convolution would exceed maxStates.
+var ErrTooLarge = errors.New("maxpr: convolution state space too large")
+
+// ProbErr returns Pr[D < −τ] or ErrTooLarge.
+func (e *DiscreteAffine) ProbErr(T model.Set) (float64, error) {
+	if len(T) == 0 {
+		return 0, nil
+	}
+	states := 1
+	for _, i := range T {
+		if e.a[i] == 0 {
+			continue
+		}
+		states *= e.dists[i].Size()
+		if states > e.maxStates {
+			return 0, ErrTooLarge
+		}
+	}
+	weights := make([]float64, 0, len(T))
+	parts := make([]*dist.Discrete, 0, len(T))
+	offset := 0.0
+	for _, i := range T {
+		if e.a[i] == 0 {
+			continue
+		}
+		weights = append(weights, e.a[i])
+		parts = append(parts, e.dists[i])
+		offset -= e.a[i] * e.u[i]
+	}
+	d, err := dist.WeightedSum(offset, weights, parts)
+	if err != nil {
+		return 0, err
+	}
+	return d.PrBelow(-e.tau), nil
+}
+
+// Hybrid evaluates exactly by convolution while the state space fits and
+// falls back to Monte Carlo beyond that — the practical evaluator for
+// greedy selection over discrete databases whose chosen sets can grow
+// large.
+type Hybrid struct {
+	exact *DiscreteAffine
+	mc    *MonteCarlo
+}
+
+// NewHybrid builds the combined evaluator.
+func NewHybrid(db *model.DB, f *query.Affine, tau float64, maxStates, samples int, r *rng.RNG) (*Hybrid, error) {
+	exact, err := NewDiscreteAffine(db, f, tau, maxStates)
+	if err != nil {
+		return nil, err
+	}
+	mc, err := NewMonteCarlo(db, f, tau, samples, r)
+	if err != nil {
+		return nil, err
+	}
+	return &Hybrid{exact: exact, mc: mc}, nil
+}
+
+// Prob implements Evaluator.
+func (h *Hybrid) Prob(T model.Set) float64 {
+	p, err := h.exact.ProbErr(T)
+	if err == nil {
+		return p
+	}
+	return h.mc.Prob(T)
+}
+
+// Cached memoizes another evaluator by the canonical key of the subset.
+// Greedy selection across a budget sweep revisits the same subsets many
+// times; with a Monte-Carlo inner evaluator, caching also keeps the
+// estimates consistent between visits.
+type Cached struct {
+	inner Evaluator
+	cache map[string]float64
+}
+
+// NewCached wraps an evaluator with memoization.
+func NewCached(inner Evaluator) *Cached {
+	return &Cached{inner: inner, cache: make(map[string]float64)}
+}
+
+// Prob implements Evaluator.
+func (c *Cached) Prob(T model.Set) float64 {
+	key := make([]byte, 0, 4*len(T))
+	for _, v := range T {
+		key = append(key, byte(v), byte(v>>8), byte(v>>16), ',')
+	}
+	k := string(key)
+	if p, ok := c.cache[k]; ok {
+		return p
+	}
+	p := c.inner.Prob(T)
+	c.cache[k] = p
+	return p
+}
+
+// MonteCarlo estimates the objective for an arbitrary query function:
+// cleaned values are drawn from their marginals, the rest stay at u.
+type MonteCarlo struct {
+	db      *model.DB
+	samples int
+	f       query.Function
+	tau     float64
+	r       *rng.RNG
+
+	sample func(i int, r *rng.RNG) float64
+}
+
+// NewMonteCarlo builds the estimator; values may be discrete or normal.
+func NewMonteCarlo(db *model.DB, f query.Function, tau float64, samples int, r *rng.RNG) (*MonteCarlo, error) {
+	if tau < 0 {
+		return nil, fmt.Errorf("maxpr: negative tau %v", tau)
+	}
+	if samples <= 0 {
+		return nil, fmt.Errorf("maxpr: need samples >= 1, got %d", samples)
+	}
+	if db.Cov != nil {
+		return nil, errors.New("maxpr: MonteCarlo requires independent values (use MVNAffine)")
+	}
+	mc := &MonteCarlo{db: db, samples: samples, f: f, tau: tau, r: r}
+	mc.sample = func(i int, r *rng.RNG) float64 {
+		switch v := db.Objects[i].Value.(type) {
+		case *dist.Discrete:
+			return v.Sample(r)
+		case dist.Normal:
+			return v.Sample(r)
+		default:
+			panic(fmt.Sprintf("maxpr: unsupported value model %T", v))
+		}
+	}
+	return mc, nil
+}
+
+// Prob estimates P(T) with the configured number of samples.
+func (e *MonteCarlo) Prob(T model.Set) float64 {
+	if len(T) == 0 {
+		return 0
+	}
+	x := e.db.Currents()
+	threshold := e.f.Eval(x) - e.tau
+	hits := 0
+	for s := 0; s < e.samples; s++ {
+		for _, i := range T {
+			x[i] = e.sample(i, e.r)
+		}
+		if e.f.Eval(x) < threshold {
+			hits++
+		}
+		for _, i := range T {
+			x[i] = e.db.Objects[i].Current
+		}
+	}
+	return float64(hits) / float64(e.samples)
+}

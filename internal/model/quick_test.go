@@ -1,0 +1,140 @@
+package model
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// sanitizeIDs maps arbitrary generated ints into a small ID universe.
+func sanitizeIDs(raw []int, n int) []int {
+	out := make([]int, 0, len(raw))
+	for _, v := range raw {
+		x := v % n
+		if x < 0 {
+			x += n
+		}
+		out = append(out, x)
+	}
+	return out
+}
+
+func TestQuickSetCanonical(t *testing.T) {
+	f := func(raw []int) bool {
+		s := NewSet(sanitizeIDs(raw, 40)...)
+		// Sorted, unique.
+		for i := 1; i < len(s); i++ {
+			if s[i] <= s[i-1] {
+				return false
+			}
+		}
+		// Membership agrees with linear scan.
+		for _, v := range s {
+			if !s.Has(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSetComplementInvolution(t *testing.T) {
+	const n = 30
+	f := func(raw []int) bool {
+		s := NewSet(sanitizeIDs(raw, n)...)
+		back := s.Complement(n).Complement(n)
+		if len(back) != len(s) {
+			return false
+		}
+		for i := range s {
+			if back[i] != s[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSetDeMorgan(t *testing.T) {
+	const n = 24
+	f := func(rawA, rawB []int) bool {
+		a := NewSet(sanitizeIDs(rawA, n)...)
+		b := NewSet(sanitizeIDs(rawB, n)...)
+		// complement(a ∪ b) == complement(a) ∩ complement(b)
+		lhs := a.Union(b).Complement(n)
+		rhs := a.Complement(n).Intersect(b.Complement(n))
+		return setsEqual(lhs, rhs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSetMinusPartition(t *testing.T) {
+	const n = 24
+	f := func(rawA, rawB []int) bool {
+		a := NewSet(sanitizeIDs(rawA, n)...)
+		b := NewSet(sanitizeIDs(rawB, n)...)
+		// a == (a ∩ b) ∪ (a \ b), and the two parts are disjoint.
+		inter := a.Intersect(b)
+		minus := a.Minus(b)
+		if len(inter.Intersect(minus)) != 0 {
+			return false
+		}
+		return setsEqual(a, inter.Union(minus))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSetUnionCommutes(t *testing.T) {
+	const n = 24
+	f := func(rawA, rawB []int) bool {
+		a := NewSet(sanitizeIDs(rawA, n)...)
+		b := NewSet(sanitizeIDs(rawB, n)...)
+		return setsEqual(a.Union(b), b.Union(a))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickAddIdempotent(t *testing.T) {
+	const n = 24
+	f := func(raw []int, idRaw int) bool {
+		s := NewSet(sanitizeIDs(raw, n)...)
+		id := idRaw % n
+		if id < 0 {
+			id += n
+		}
+		once := s.Add(id)
+		twice := once.Add(id)
+		return setsEqual(once, twice) && once.Has(id)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func setsEqual(a, b Set) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	ac := append([]int(nil), a...)
+	bc := append([]int(nil), b...)
+	sort.Ints(ac)
+	sort.Ints(bc)
+	for i := range ac {
+		if ac[i] != bc[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,174 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAlmostEqual(t *testing.T) {
+	cases := []struct {
+		a, b, tol float64
+		want      bool
+	}{
+		{1, 1, 1e-12, true},
+		{1, 1 + 1e-13, 1e-12, true},
+		{1, 1.1, 1e-12, false},
+		{1e12, 1e12 + 1, 1e-9, true},
+		{0, 1e-12, 1e-9, true},
+		{0, 1e-3, 1e-9, false},
+	}
+	for _, c := range cases {
+		if got := AlmostEqual(c.a, c.b, c.tol); got != c.want {
+			t.Errorf("AlmostEqual(%v,%v,%v) = %v, want %v", c.a, c.b, c.tol, got, c.want)
+		}
+	}
+}
+
+func TestSumCompensation(t *testing.T) {
+	// Classic cancellation case: naive summation loses the small terms.
+	xs := []float64{1e16, 1, -1e16, 1}
+	if got := Sum(xs); got != 2 {
+		t.Fatalf("Sum = %v, want 2", got)
+	}
+}
+
+func TestKahanAccMatchesSum(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				// Scale down to avoid overflow in the property.
+				xs = append(xs, math.Mod(v, 1e6))
+			}
+		}
+		var acc KahanAcc
+		for _, x := range xs {
+			acc.Add(x)
+		}
+		return AlmostEqual(acc.Value(), Sum(xs), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWelford(t *testing.T) {
+	var w Welford
+	data := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	for _, x := range data {
+		w.Add(x)
+	}
+	if w.N() != len(data) {
+		t.Fatalf("N = %d", w.N())
+	}
+	if !AlmostEqual(w.Mean(), 5, 1e-12) {
+		t.Fatalf("mean = %v, want 5", w.Mean())
+	}
+	if !AlmostEqual(w.PopVar(), 4, 1e-12) {
+		t.Fatalf("popvar = %v, want 4", w.PopVar())
+	}
+	if !AlmostEqual(w.SampleVar(), 32.0/7.0, 1e-12) {
+		t.Fatalf("samplevar = %v, want %v", w.SampleVar(), 32.0/7.0)
+	}
+}
+
+func TestWelfordEmpty(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.PopVar() != 0 || w.SampleVar() != 0 {
+		t.Fatal("empty Welford should report zeros")
+	}
+	w.Add(3)
+	if w.SampleVar() != 0 {
+		t.Fatal("single-sample variance should be 0")
+	}
+}
+
+func TestNormalCDFKnownValues(t *testing.T) {
+	cases := []struct{ z, want float64 }{
+		{0, 0.5},
+		{1, 0.8413447460685429},
+		{-1, 0.15865525393145707},
+		{1.959963984540054, 0.975},
+		{-4, 3.167124183311998e-05},
+	}
+	for _, c := range cases {
+		if got := NormalCDF(c.z); !AlmostEqual(got, c.want, 1e-10) {
+			t.Errorf("NormalCDF(%v) = %v, want %v", c.z, got, c.want)
+		}
+	}
+}
+
+func TestNormalQuantileRoundTrip(t *testing.T) {
+	for _, p := range []float64{1e-8, 1e-4, 0.01, 0.05, 0.3, 0.5, 0.77, 0.95, 0.999, 1 - 1e-8} {
+		z := NormalQuantile(p)
+		if got := NormalCDF(z); !AlmostEqual(got, p, 1e-10) {
+			t.Errorf("CDF(Quantile(%v)) = %v", p, got)
+		}
+	}
+}
+
+func TestNormalQuantileEdge(t *testing.T) {
+	if !math.IsInf(NormalQuantile(0), -1) {
+		t.Fatal("quantile(0) should be -inf")
+	}
+	if !math.IsInf(NormalQuantile(1), +1) {
+		t.Fatal("quantile(1) should be +inf")
+	}
+	if !math.IsNaN(NormalQuantile(-0.1)) || !math.IsNaN(NormalQuantile(1.1)) {
+		t.Fatal("out-of-range quantile should be NaN")
+	}
+}
+
+func TestNormalPDF(t *testing.T) {
+	if !AlmostEqual(NormalPDF(0), 1/math.Sqrt(2*math.Pi), 1e-14) {
+		t.Fatal("pdf(0) wrong")
+	}
+	if !AlmostEqual(NormalPDF(2), NormalPDF(-2), 1e-14) {
+		t.Fatal("pdf should be symmetric")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Fatal("clamp broken")
+	}
+}
+
+func TestQuantizeKeyRoundTrip(t *testing.T) {
+	for _, x := range []float64{0, 1, -1, 3.25, 17.0 / 12.0, 99.999999, -123456.789} {
+		k := QuantizeKey(x)
+		if got := UnquantizeKey(k); math.Abs(got-x) > 5e-10 {
+			t.Errorf("quantize roundtrip %v -> %v", x, got)
+		}
+	}
+	// Distinct nearby values must collapse only within resolution.
+	if QuantizeKey(1.0) == QuantizeKey(1.0+1e-6) {
+		t.Fatal("1e-6 apart values should not collapse")
+	}
+	if QuantizeKey(1.0) != QuantizeKey(1.0+1e-13) {
+		t.Fatal("1e-13 apart values should collapse")
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[int64]float64{3: 1, -1: 1, 7: 1, 0: 1}
+	ks := SortedKeys(m)
+	want := []int64{-1, 0, 3, 7}
+	for i, k := range ks {
+		if k != want[i] {
+			t.Fatalf("SortedKeys = %v", ks)
+		}
+	}
+}
+
+func TestQuantileMonotone(t *testing.T) {
+	prev := math.Inf(-1)
+	for p := 0.001; p < 1; p += 0.001 {
+		z := NormalQuantile(p)
+		if z < prev {
+			t.Fatalf("quantile not monotone at p=%v", p)
+		}
+		prev = z
+	}
+}

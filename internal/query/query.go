@@ -1,0 +1,213 @@
+// Package query defines the query functions f over uncertain object values
+// that the MinVar and MaxPr problems optimize (§2.1). Two concrete forms
+// cover everything the fact-checking application needs:
+//
+//   - Affine: f(X) = b + a·X — fairness (bias) of linear claims. With
+//     uncorrelated errors this makes MinVar/MaxPr modular (Lemma 3.1).
+//   - GroupSum: f(X) = c + Σ_k g_k(X_{R_k}) — sums of per-claim terms such
+//     as duplicity indicators or fragility penalties, each referencing a
+//     bounded set of objects R_k. This is the structure Theorem 3.8
+//     exploits for polynomial-time expected-variance computation.
+package query
+
+import "sort"
+
+// Function is a real-valued query over the full value vector.
+type Function interface {
+	// Eval evaluates f at x, where x is indexed by object ID and must
+	// cover every ID in Vars().
+	Eval(x []float64) float64
+	// Vars returns the sorted IDs of the objects the function references.
+	Vars() []int
+}
+
+// Affine is f(X) = Const + Σ_i Coef[i]·X_i with a sparse coefficient map.
+type Affine struct {
+	Const float64
+	Coef  map[int]float64
+}
+
+// NewAffine returns an affine function; zero coefficients are dropped.
+func NewAffine(constant float64, coef map[int]float64) *Affine {
+	c := make(map[int]float64, len(coef))
+	for i, v := range coef {
+		if v != 0 {
+			c[i] = v
+		}
+	}
+	return &Affine{Const: constant, Coef: c}
+}
+
+// Eval evaluates the affine form.
+func (a *Affine) Eval(x []float64) float64 {
+	s := a.Const
+	for i, c := range a.Coef {
+		s += c * x[i]
+	}
+	return s
+}
+
+// Vars returns the sorted referenced IDs.
+func (a *Affine) Vars() []int {
+	vars := make([]int, 0, len(a.Coef))
+	for i := range a.Coef {
+		vars = append(vars, i)
+	}
+	sort.Ints(vars)
+	return vars
+}
+
+// CoefAt returns the coefficient of X_i (0 if absent).
+func (a *Affine) CoefAt(i int) float64 { return a.Coef[i] }
+
+// Dense returns the length-n dense coefficient vector.
+func (a *Affine) Dense(n int) []float64 {
+	out := make([]float64, n)
+	for i, c := range a.Coef {
+		out[i] = c
+	}
+	return out
+}
+
+// AsGroupSum represents the affine function as a GroupSum with one
+// single-variable term per coefficient. Terms over distinct independent
+// variables have zero covariance, so group-engine results are exact.
+func (a *Affine) AsGroupSum() *GroupSum {
+	g := &GroupSum{Const: a.Const}
+	for _, i := range a.Vars() {
+		c := a.Coef[i]
+		g.Terms = append(g.Terms, Term{
+			Vars: []int{i},
+			Eval: func(vals []float64) float64 { return c * vals[0] },
+		})
+	}
+	return g
+}
+
+// Term is one additive component g_k of a GroupSum, referencing only the
+// objects in Vars (sorted ascending). Eval receives the values of exactly
+// those objects, in the same order.
+type Term struct {
+	Vars []int
+	Eval func(vals []float64) float64
+}
+
+// GroupSum is f(X) = Const + Σ_k Terms[k](X_{R_k}).
+type GroupSum struct {
+	Const float64
+	Terms []Term
+}
+
+// Eval evaluates the sum at the full value vector x.
+func (g *GroupSum) Eval(x []float64) float64 {
+	s := g.Const
+	buf := make([]float64, 0, 16)
+	for _, t := range g.Terms {
+		buf = buf[:0]
+		for _, v := range t.Vars {
+			buf = append(buf, x[v])
+		}
+		s += t.Eval(buf)
+	}
+	return s
+}
+
+// Vars returns the sorted union of all term variables.
+func (g *GroupSum) Vars() []int {
+	seen := map[int]struct{}{}
+	for _, t := range g.Terms {
+		for _, v := range t.Vars {
+			seen[v] = struct{}{}
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// LinearTerm builds a term w·Σ coef_j·X_{vars_j} + c restricted to vars.
+func LinearTerm(vars []int, coef []float64, c float64) Term {
+	vs := append([]int(nil), vars...)
+	cf := append([]float64(nil), coef...)
+	return Term{
+		Vars: vs,
+		Eval: func(vals []float64) float64 {
+			s := c
+			for j, v := range vals {
+				s += cf[j] * v
+			}
+			return s
+		},
+	}
+}
+
+// IndicatorGE builds the term weight·1[Σ coef_j·X_j + c ≥ 0], the building
+// block of the duplicity (uniqueness) measure.
+func IndicatorGE(vars []int, coef []float64, c, weight float64) Term {
+	vs := append([]int(nil), vars...)
+	cf := append([]float64(nil), coef...)
+	return Term{
+		Vars: vs,
+		Eval: func(vals []float64) float64 {
+			s := c
+			for j, v := range vals {
+				s += cf[j] * v
+			}
+			if s >= 0 {
+				return weight
+			}
+			return 0
+		},
+	}
+}
+
+// NegMinSquared builds the term weight·(min{Σ coef_j·X_j + c, 0})², the
+// building block of the fragility (robustness) measure.
+func NegMinSquared(vars []int, coef []float64, c, weight float64) Term {
+	vs := append([]int(nil), vars...)
+	cf := append([]float64(nil), coef...)
+	return Term{
+		Vars: vs,
+		Eval: func(vals []float64) float64 {
+			s := c
+			for j, v := range vals {
+				s += cf[j] * v
+			}
+			if s >= 0 {
+				return 0
+			}
+			return weight * s * s
+		},
+	}
+}
+
+// Indicator builds an arbitrary-predicate single-term function 1[pred(x)],
+// used in the paper's worked Examples 3 and 6.
+func Indicator(vars []int, pred func(vals []float64) bool) *GroupSum {
+	vs := append([]int(nil), vars...)
+	return &GroupSum{Terms: []Term{{
+		Vars: vs,
+		Eval: func(vals []float64) float64 {
+			if pred(vals) {
+				return 1
+			}
+			return 0
+		},
+	}}}
+}
+
+// Func adapts an arbitrary closure into a Function; used by tests and the
+// Monte-Carlo fallbacks. The closure receives the full value vector.
+type Func struct {
+	F func(x []float64) float64
+	V []int
+}
+
+// Eval calls the closure.
+func (f *Func) Eval(x []float64) float64 { return f.F(x) }
+
+// Vars returns the declared variable list.
+func (f *Func) Vars() []int { return f.V }

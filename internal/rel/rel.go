@@ -1,0 +1,191 @@
+// Package rel is a miniature relational layer over the uncertain
+// database: tables whose dimension attributes are certain and whose
+// measure column is backed by uncertain objects. §3.4 observes that any
+// SQL aggregation over selections and joins is a *linear* claim function
+// as long as the selection/join conditions touch only certain attributes
+// — this package makes that observation concrete by compiling
+// SELECT SUM/AVG/weighted aggregates WHERE <predicate over dimensions>
+// into claims.Claim values that the selection machinery consumes.
+package rel
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/factcheck/cleansel/internal/claims"
+	"github.com/factcheck/cleansel/internal/model"
+)
+
+// Row is one tuple: certain dimension values plus the ID of the uncertain
+// object holding the row's measure.
+type Row struct {
+	Dims    map[string]string
+	Ints    map[string]int
+	Measure int // object ID in the backing model.DB
+}
+
+// Table is a set of rows over a shared schema backed by an uncertain
+// database.
+type Table struct {
+	Name string
+	DB   *model.DB
+	Rows []Row
+}
+
+// NewTable validates that every row's measure points into the database.
+func NewTable(name string, db *model.DB, rows []Row) (*Table, error) {
+	if db == nil {
+		return nil, errors.New("rel: nil database")
+	}
+	for i, r := range rows {
+		if r.Measure < 0 || r.Measure >= db.N() {
+			return nil, fmt.Errorf("rel: row %d references object %d of %d", i, r.Measure, db.N())
+		}
+	}
+	return &Table{Name: name, DB: db, Rows: rows}, nil
+}
+
+// Pred is a row predicate over the certain attributes only.
+type Pred func(Row) bool
+
+// DimEq matches rows whose string dimension equals v.
+func DimEq(dim, v string) Pred {
+	return func(r Row) bool { return r.Dims[dim] == v }
+}
+
+// IntBetween matches rows whose integer dimension lies in [lo, hi].
+func IntBetween(dim string, lo, hi int) Pred {
+	return func(r Row) bool {
+		x, ok := r.Ints[dim]
+		return ok && x >= lo && x <= hi
+	}
+}
+
+// And conjoins predicates.
+func And(ps ...Pred) Pred {
+	return func(r Row) bool {
+		for _, p := range ps {
+			if !p(r) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// Or disjoins predicates.
+func Or(ps ...Pred) Pred {
+	return func(r Row) bool {
+		for _, p := range ps {
+			if p(r) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// Not negates a predicate.
+func Not(p Pred) Pred { return func(r Row) bool { return !p(r) } }
+
+// Sum compiles SELECT SUM(measure) WHERE pred into a linear claim.
+// Rows sharing a measure object accumulate coefficients (self-joins and
+// duplicated tuples are handled naturally).
+func (t *Table) Sum(name string, pred Pred) *claims.Claim {
+	coef := map[int]float64{}
+	for _, r := range t.Rows {
+		if pred == nil || pred(r) {
+			coef[r.Measure]++
+		}
+	}
+	return claims.NewClaim(name, 0, coef)
+}
+
+// WeightedSum compiles SELECT SUM(weight(row)·measure) WHERE pred.
+func (t *Table) WeightedSum(name string, pred Pred, weight func(Row) float64) *claims.Claim {
+	coef := map[int]float64{}
+	for _, r := range t.Rows {
+		if pred == nil || pred(r) {
+			coef[r.Measure] += weight(r)
+		}
+	}
+	return claims.NewClaim(name, 0, coef)
+}
+
+// Avg compiles SELECT AVG(measure) WHERE pred: a linear claim with
+// coefficients 1/count. It returns an error when no row matches.
+func (t *Table) Avg(name string, pred Pred) (*claims.Claim, error) {
+	var matched []int
+	for _, r := range t.Rows {
+		if pred == nil || pred(r) {
+			matched = append(matched, r.Measure)
+		}
+	}
+	if len(matched) == 0 {
+		return nil, fmt.Errorf("rel: AVG %q matches no rows", name)
+	}
+	coef := map[int]float64{}
+	w := 1 / float64(len(matched))
+	for _, id := range matched {
+		coef[id] += w
+	}
+	return claims.NewClaim(name, 0, coef), nil
+}
+
+// Diff compiles the comparison claim a − b (e.g. "crimes this period
+// minus crimes last period"), the window-aggregate-comparison pattern in
+// relational form.
+func Diff(name string, a, b *claims.Claim) *claims.Claim {
+	coef := map[int]float64{}
+	for i, v := range a.Coef {
+		coef[i] += v
+	}
+	for i, v := range b.Coef {
+		coef[i] -= v
+	}
+	return claims.NewClaim(name, a.Const-b.Const, coef)
+}
+
+// Share compiles a − frac·b ("a exceeds frac of b"), the CDC-causes
+// claim shape of §4.1.
+func Share(name string, a, b *claims.Claim, frac float64) *claims.Claim {
+	coef := map[int]float64{}
+	for i, v := range a.Coef {
+		coef[i] += v
+	}
+	for i, v := range b.Coef {
+		coef[i] -= frac * v
+	}
+	return claims.NewClaim(name, a.Const-frac*b.Const, coef)
+}
+
+// GroupBy enumerates the distinct values of a string dimension, in first-
+// appearance order — the generator for "perturb the group" claim familes
+// (e.g. the same claim for every jurisdiction).
+func (t *Table) GroupBy(dim string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, r := range t.Rows {
+		v, ok := r.Dims[dim]
+		if !ok || seen[v] {
+			continue
+		}
+		seen[v] = true
+		out = append(out, v)
+	}
+	return out
+}
+
+// PerturbBy builds one claim per group value using mk, assigning
+// sensibilities with weight(groupValue); the claim family for "could the
+// same claim be made elsewhere?" uniqueness checks.
+func (t *Table) PerturbBy(dim string, mk func(value string) *claims.Claim, weight func(value string) float64) []claims.Perturbed {
+	var out []claims.Perturbed
+	for _, v := range t.GroupBy(dim) {
+		out = append(out, claims.Perturbed{
+			Claim:       mk(v),
+			Sensibility: weight(v),
+		})
+	}
+	return out
+}
