@@ -1,0 +1,167 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/factcheck/cleansel/internal/numeric"
+)
+
+// Mixture pools conflicting source laws for one object into the
+// credibility-weighted opinion pool Σ_k w̄_k·p_k(v) with w̄ = w/Σw (the
+// §2.1 discussion of merging source reports). Weights must be
+// non-negative with positive total. Atoms that are exactly equal across
+// sources merge; the pooled support comes out sorted ascending.
+func Mixture(dists []*Discrete, weights []float64) (*Discrete, error) {
+	if len(dists) == 0 {
+		return nil, errors.New("dist: Mixture needs at least one component")
+	}
+	if len(dists) != len(weights) {
+		return nil, fmt.Errorf("dist: %d components vs %d weights", len(dists), len(weights))
+	}
+	var wsum numeric.KahanAcc
+	for k, w := range weights {
+		if dists[k] == nil {
+			return nil, fmt.Errorf("dist: component %d is nil", k)
+		}
+		if math.IsNaN(w) || math.IsInf(w, 0) || w < 0 {
+			return nil, fmt.Errorf("dist: weight %d is %v", k, w)
+		}
+		wsum.Add(w)
+	}
+	if wsum.Value() <= 0 {
+		return nil, errors.New("dist: Mixture weights sum to zero")
+	}
+	pooled := map[float64]float64{}
+	for k, d := range dists {
+		if weights[k] == 0 {
+			continue
+		}
+		for j, v := range d.Values {
+			pooled[v] += weights[k] * d.Probs[j]
+		}
+	}
+	values, probs := sortedAtoms(pooled)
+	return NewDiscrete(values, probs)
+}
+
+// WeightedSum returns the exact law of D = offset + Σ_i weights[i]·X_i
+// for independent discrete X_i — the drop variable of Eq. (2), built by
+// support convolution. Sums that collide within 1e-9 merge (the same
+// quantization the entropy engine uses), which keeps the state space at
+// the number of distinct outcomes rather than the raw product. Callers
+// bound the product of support sizes beforehand; see
+// maxpr.DiscreteAffine.
+func WeightedSum(offset float64, weights []float64, parts []*Discrete) (*Discrete, error) {
+	if len(weights) != len(parts) {
+		return nil, fmt.Errorf("dist: %d weights vs %d parts", len(weights), len(parts))
+	}
+	if math.IsNaN(offset) || math.IsInf(offset, 0) {
+		return nil, fmt.Errorf("dist: offset %v must be finite", offset)
+	}
+	for i, w := range weights {
+		if parts[i] == nil {
+			return nil, fmt.Errorf("dist: part %d is nil", i)
+		}
+		if math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("dist: weight %d is %v", i, w)
+		}
+	}
+	// vals keeps the first exact sum seen for each quantized key so the
+	// grid never perturbs a support value by more than one round-off.
+	probs := map[int64]float64{numeric.QuantizeKey(offset): 1}
+	vals := map[int64]float64{numeric.QuantizeKey(offset): offset}
+	for i, part := range parts {
+		if weights[i] == 0 {
+			continue
+		}
+		nextProbs := make(map[int64]float64, len(probs)*part.Size())
+		nextVals := make(map[int64]float64, len(probs)*part.Size())
+		for key, p := range probs {
+			base := vals[key]
+			for j, v := range part.Values {
+				s := base + weights[i]*v
+				k := numeric.QuantizeKey(s)
+				if _, seen := nextVals[k]; !seen {
+					nextVals[k] = s
+				}
+				nextProbs[k] += p * part.Probs[j]
+			}
+		}
+		probs, vals = nextProbs, nextVals
+	}
+	keys := numeric.SortedKeys(probs)
+	values := make([]float64, len(keys))
+	ps := make([]float64, len(keys))
+	for i, k := range keys {
+		values[i] = vals[k]
+		ps[i] = probs[k]
+	}
+	return NewDiscrete(values, ps)
+}
+
+// FuseNormals resolves independent normal reports of the same quantity
+// by precision weighting (§2.1 discussion of conflicting sources): with
+// precisions λ_i = 1/σ_i², the fused law is N(Σλ_iμ_i / Σλ_i, 1/Σλ_i).
+// Its variance is strictly below every input's when two or more
+// uncertain reports are fused. A zero-sigma report is exact and
+// dominates; two exact reports that disagree are contradictory and
+// return an error.
+func FuseNormals(reports []Normal) (Normal, error) {
+	if len(reports) == 0 {
+		return Normal{}, errors.New("dist: FuseNormals needs at least one report")
+	}
+	for i, n := range reports {
+		if math.IsNaN(n.Mu) || math.IsInf(n.Mu, 0) || math.IsNaN(n.Sigma) || math.IsInf(n.Sigma, 0) || n.Sigma < 0 {
+			return Normal{}, fmt.Errorf("dist: report %d is not a valid normal (mu %v, sigma %v)", i, n.Mu, n.Sigma)
+		}
+	}
+	if len(reports) == 1 {
+		return reports[0], nil
+	}
+	exact := false
+	var exactMu float64
+	for _, n := range reports {
+		// A sigma whose square underflows to zero carries effectively
+		// infinite precision; treat it as exact so the weighting below
+		// never divides by zero.
+		if n.Sigma*n.Sigma != 0 {
+			continue
+		}
+		if exact && exactMu != n.Mu {
+			return Normal{}, fmt.Errorf("dist: contradictory exact reports %v and %v", exactMu, n.Mu)
+		}
+		exact = true
+		exactMu = n.Mu
+	}
+	if exact {
+		return Normal{Mu: exactMu, Sigma: 0}, nil
+	}
+	var lambda, weighted numeric.KahanAcc
+	for _, n := range reports {
+		l := 1 / (n.Sigma * n.Sigma)
+		lambda.Add(l)
+		weighted.Add(l * n.Mu)
+	}
+	return Normal{
+		Mu:    weighted.Value() / lambda.Value(),
+		Sigma: math.Sqrt(1 / lambda.Value()),
+	}, nil
+}
+
+// sortedAtoms flattens an atom→mass map into parallel slices sorted by
+// value ascending.
+func sortedAtoms(m map[float64]float64) (values, probs []float64) {
+	values = make([]float64, 0, len(m))
+	for v := range m {
+		values = append(values, v)
+	}
+	sort.Float64s(values)
+	probs = make([]float64, len(values))
+	for i, v := range values {
+		probs[i] = m[v]
+	}
+	return values, probs
+}

@@ -1,0 +1,217 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/factcheck/cleansel/internal/numeric"
+	"github.com/factcheck/cleansel/internal/rng"
+)
+
+// Discrete is a finite-support law Pr[X = Values[j]] = Probs[j]. The
+// support order is whatever the constructor received (generators rely on
+// drawing "the current value" by support index); probabilities always sum
+// to one. Mutating the exported slices after construction breaks the
+// invariants — clean code treats a built Discrete as immutable and uses
+// Clone when it needs a variant.
+type Discrete struct {
+	Values []float64
+	Probs  []float64
+}
+
+// NewDiscrete builds a validated law from a support and (possibly
+// unnormalized) non-negative weights. The weights are normalized to
+// probabilities; duplicate support values are allowed and simply share
+// the value's total mass across entries.
+func NewDiscrete(values, probs []float64) (*Discrete, error) {
+	if len(values) == 0 {
+		return nil, errors.New("dist: empty support")
+	}
+	if len(values) != len(probs) {
+		return nil, fmt.Errorf("dist: %d values vs %d probabilities", len(values), len(probs))
+	}
+	for i, v := range values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("dist: support value %d is %v", i, v)
+		}
+	}
+	var sum numeric.KahanAcc
+	for i, p := range probs {
+		if math.IsNaN(p) || p < 0 || math.IsInf(p, 0) {
+			return nil, fmt.Errorf("dist: probability %d is %v", i, p)
+		}
+		sum.Add(p)
+	}
+	total := sum.Value()
+	if total <= 0 {
+		return nil, errors.New("dist: probabilities sum to zero")
+	}
+	d := &Discrete{
+		Values: append([]float64(nil), values...),
+		Probs:  make([]float64, len(probs)),
+	}
+	for i, p := range probs {
+		d.Probs[i] = p / total
+	}
+	return d, nil
+}
+
+// MustDiscrete is NewDiscrete that panics on invalid input; for literals
+// and generators whose inputs are correct by construction.
+func MustDiscrete(values, probs []float64) *Discrete {
+	d, err := NewDiscrete(values, probs)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// UniformOver builds the uniform law over the given support. Like
+// MustDiscrete it panics on invalid input (an empty or non-finite
+// support); use NewDiscrete when the support comes from untrusted data.
+func UniformOver(values []float64) *Discrete {
+	probs := make([]float64, len(values))
+	for i := range probs {
+		probs[i] = 1 / float64(len(values))
+	}
+	return MustDiscrete(values, probs)
+}
+
+// PointMass builds the degenerate law concentrated at v — the posterior
+// of a cleaned object (§2.1: cleaning reveals the true value).
+func PointMass(v float64) *Discrete {
+	return MustDiscrete([]float64{v}, []float64{1})
+}
+
+// Bernoulli builds the {0, 1} law with Pr[X = 1] = p (Example 3's
+// indicator objects).
+func Bernoulli(p float64) *Discrete {
+	if math.IsNaN(p) || p < 0 || p > 1 {
+		panic(fmt.Sprintf("dist: Bernoulli probability %v outside [0, 1]", p))
+	}
+	return MustDiscrete([]float64{0, 1}, []float64{1 - p, p})
+}
+
+// LogNormalQuantized builds the k-point equal-probability quantization of
+// LogNormal(0, sigma²): the §4.3 LNx generator's skewed, small-range
+// value model. Point j sits at the conditional bin center
+// exp(sigma·Φ⁻¹((j+1/2)/k)); values come out sorted ascending.
+func LogNormalQuantized(sigma float64, k int) *Discrete {
+	if sigma <= 0 || math.IsNaN(sigma) || math.IsInf(sigma, 0) {
+		panic(fmt.Sprintf("dist: log-normal sigma %v must be positive and finite", sigma))
+	}
+	zs := symmetricQuantiles(k)
+	values := make([]float64, k)
+	probs := make([]float64, k)
+	for j, z := range zs {
+		values[j] = math.Exp(sigma * z)
+		probs[j] = 1 / float64(k)
+	}
+	return MustDiscrete(values, probs)
+}
+
+// Len returns the support size.
+func (d *Discrete) Len() int { return len(d.Values) }
+
+// Size is Len under the name the enumeration engines use when bounding
+// product state spaces.
+func (d *Discrete) Size() int { return len(d.Values) }
+
+// Mean returns E[X].
+func (d *Discrete) Mean() float64 {
+	var acc numeric.KahanAcc
+	for j, v := range d.Values {
+		acc.Add(d.Probs[j] * v)
+	}
+	return acc.Value()
+}
+
+// Variance returns Var[X], computed against the mean so it is
+// non-negative even for wide supports.
+func (d *Discrete) Variance() float64 {
+	mean := d.Mean()
+	var acc numeric.KahanAcc
+	for j, v := range d.Values {
+		dev := v - mean
+		acc.Add(d.Probs[j] * dev * dev)
+	}
+	variance := acc.Value()
+	if variance < 0 {
+		variance = 0
+	}
+	return variance
+}
+
+// Prob returns Pr[X = v], summing over duplicate support entries. The
+// comparison is exact; callers that quantized their arithmetic should
+// query with values from the support itself.
+func (d *Discrete) Prob(v float64) float64 {
+	var acc numeric.KahanAcc
+	for j, sv := range d.Values {
+		if sv == v {
+			acc.Add(d.Probs[j])
+		}
+	}
+	return acc.Value()
+}
+
+// PrBelow returns Pr[X < v] (strictly below — the Eq. (2) surprise event
+// D < −τ is a strict inequality).
+func (d *Discrete) PrBelow(v float64) float64 {
+	var acc numeric.KahanAcc
+	for j, sv := range d.Values {
+		if sv < v {
+			acc.Add(d.Probs[j])
+		}
+	}
+	return acc.Value()
+}
+
+// Sample draws from the law by inverse CDF over the support order, so a
+// fixed rng.RNG seed yields a reproducible stream.
+func (d *Discrete) Sample(r *rng.RNG) float64 {
+	u := r.Float64()
+	var cum float64
+	for j, p := range d.Probs {
+		cum += p
+		if u < cum {
+			return d.Values[j]
+		}
+	}
+	// Round-off can leave cum a hair under 1; the draw belongs to the
+	// last positive-probability atom.
+	for j := len(d.Probs) - 1; j >= 0; j-- {
+		if d.Probs[j] > 0 {
+			return d.Values[j]
+		}
+	}
+	return d.Values[len(d.Values)-1]
+}
+
+// Clone returns a deep copy safe to mutate.
+func (d *Discrete) Clone() *Discrete {
+	return &Discrete{
+		Values: append([]float64(nil), d.Values...),
+		Probs:  append([]float64(nil), d.Probs...),
+	}
+}
+
+// symmetricQuantiles returns the k standard-normal quantiles at
+// (j+1/2)/k, mirrored so the grid is exactly symmetric about zero (the
+// property that makes equal-probability discretizations mean-exact).
+func symmetricQuantiles(k int) []float64 {
+	if k <= 0 {
+		panic(fmt.Sprintf("dist: quantization needs k >= 1, got %d", k))
+	}
+	zs := make([]float64, k)
+	for j := 0; j < k/2; j++ {
+		z := numeric.NormalQuantile((float64(j) + 0.5) / float64(k))
+		zs[j] = z
+		zs[k-1-j] = -z
+	}
+	if k%2 == 1 {
+		zs[k/2] = 0
+	}
+	return zs
+}

@@ -1,0 +1,206 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"github.com/factcheck/cleansel/internal/numeric"
+	"github.com/factcheck/cleansel/internal/rng"
+)
+
+func TestConstructorMoments(t *testing.T) {
+	tests := []struct {
+		name     string
+		d        *Discrete
+		mean     float64
+		variance float64
+	}{
+		{"uniform3", UniformOver([]float64{9, 10, 11}), 10, 2.0 / 3.0},
+		{"point", PointMass(42), 42, 0},
+		{"bernoulli-half", Bernoulli(0.5), 0.5, 0.25},
+		{"bernoulli-quarter", Bernoulli(0.25), 0.25, 0.25 * 0.75},
+		{"bernoulli-sure", Bernoulli(1), 1, 0},
+		{"two-point", MustDiscrete([]float64{0, 100}, []float64{0.9, 0.1}), 10, 900},
+		{"unnormalized", MustDiscrete([]float64{1, 3}, []float64{2, 6}), 2.5, 0.75},
+		{"duplicates", MustDiscrete([]float64{5, 5}, []float64{0.3, 0.7}), 5, 0},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.d.Mean(); !numeric.AlmostEqual(got, tc.mean, 1e-12) {
+				t.Fatalf("mean %v, want %v", got, tc.mean)
+			}
+			if got := tc.d.Variance(); !numeric.AlmostEqual(got, tc.variance, 1e-12) {
+				t.Fatalf("variance %v, want %v", got, tc.variance)
+			}
+			var sum numeric.KahanAcc
+			for _, p := range tc.d.Probs {
+				sum.Add(p)
+			}
+			if !numeric.AlmostEqual(sum.Value(), 1, 1e-12) {
+				t.Fatalf("probabilities sum to %v", sum.Value())
+			}
+		})
+	}
+}
+
+func TestNewDiscreteValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		values []float64
+		probs  []float64
+	}{
+		{"empty", nil, nil},
+		{"length-mismatch", []float64{1, 2}, []float64{1}},
+		{"nan-value", []float64{math.NaN()}, []float64{1}},
+		{"inf-value", []float64{math.Inf(1)}, []float64{1}},
+		{"negative-prob", []float64{1, 2}, []float64{0.5, -0.5}},
+		{"nan-prob", []float64{1}, []float64{math.NaN()}},
+		{"inf-prob", []float64{1}, []float64{math.Inf(1)}},
+		{"zero-mass", []float64{1, 2}, []float64{0, 0}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := NewDiscrete(tc.values, tc.probs); err == nil {
+				t.Fatal("invalid input accepted")
+			}
+		})
+	}
+	if d, err := NewDiscrete([]float64{7}, []float64{3}); err != nil || d.Probs[0] != 1 {
+		t.Fatalf("valid input rejected: %v %v", d, err)
+	}
+}
+
+func TestMustDiscreteAndBernoulliPanic(t *testing.T) {
+	assertPanics(t, func() { MustDiscrete(nil, nil) })
+	assertPanics(t, func() { Bernoulli(-0.1) })
+	assertPanics(t, func() { Bernoulli(1.1) })
+	assertPanics(t, func() { LogNormalQuantized(0, 4) })
+	assertPanics(t, func() { LogNormalQuantized(0.5, 0) })
+}
+
+func assertPanics(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}
+
+func TestProbAndPrBelow(t *testing.T) {
+	d := MustDiscrete([]float64{1, 2, 2, 4}, []float64{0.1, 0.2, 0.3, 0.4})
+	if got := d.Prob(2); !numeric.AlmostEqual(got, 0.5, 1e-12) {
+		t.Fatalf("Prob(2) = %v, want duplicate mass 0.5", got)
+	}
+	if got := d.Prob(3); got != 0 {
+		t.Fatalf("Prob(3) = %v, want 0", got)
+	}
+	if got := d.PrBelow(2); !numeric.AlmostEqual(got, 0.1, 1e-12) {
+		t.Fatalf("PrBelow(2) = %v, want strict 0.1", got)
+	}
+	if got := d.PrBelow(4.5); !numeric.AlmostEqual(got, 1, 1e-12) {
+		t.Fatalf("PrBelow(4.5) = %v, want 1", got)
+	}
+	if got := d.PrBelow(-1); got != 0 {
+		t.Fatalf("PrBelow(-1) = %v, want 0", got)
+	}
+}
+
+func TestLenSizeClone(t *testing.T) {
+	d := UniformOver([]float64{1, 2, 3})
+	if d.Len() != 3 || d.Size() != 3 {
+		t.Fatalf("Len/Size = %d/%d", d.Len(), d.Size())
+	}
+	c := d.Clone()
+	c.Values[0] = 99
+	c.Probs[0] = 0
+	if d.Values[0] != 1 || d.Probs[0] != 1.0/3.0 {
+		t.Fatal("Clone aliases the original")
+	}
+}
+
+func TestSampleDeterministicUnderSeed(t *testing.T) {
+	d := MustDiscrete([]float64{-1, 0, 3, 7}, []float64{0.1, 0.4, 0.3, 0.2})
+	a := rng.New(1234)
+	b := rng.New(1234)
+	for i := 0; i < 200; i++ {
+		if va, vb := d.Sample(a), d.Sample(b); va != vb {
+			t.Fatalf("draw %d diverged: %v vs %v", i, va, vb)
+		}
+	}
+}
+
+func TestSampleFrequenciesMatchProbs(t *testing.T) {
+	d := MustDiscrete([]float64{-1, 0, 3, 7}, []float64{0.1, 0.4, 0.3, 0.2})
+	r := rng.New(99)
+	const n = 200000
+	counts := map[float64]int{}
+	for i := 0; i < n; i++ {
+		counts[d.Sample(r)]++
+	}
+	for j, v := range d.Values {
+		got := float64(counts[v]) / n
+		if math.Abs(got-d.Probs[j]) > 0.01 {
+			t.Fatalf("value %v frequency %v, want ≈ %v", v, got, d.Probs[j])
+		}
+	}
+}
+
+func TestSamplePointMassAndZeroProbAtoms(t *testing.T) {
+	r := rng.New(5)
+	p := PointMass(3)
+	for i := 0; i < 10; i++ {
+		if p.Sample(r) != 3 {
+			t.Fatal("point mass sampled elsewhere")
+		}
+	}
+	// A trailing zero-probability atom must never be drawn.
+	d := MustDiscrete([]float64{1, 2}, []float64{1, 0})
+	for i := 0; i < 200; i++ {
+		if d.Sample(r) != 1 {
+			t.Fatal("zero-probability atom drawn")
+		}
+	}
+}
+
+func TestLogNormalQuantized(t *testing.T) {
+	for _, k := range []int{1, 2, 5, 6} {
+		d := LogNormalQuantized(0.7, k)
+		if d.Size() != k {
+			t.Fatalf("k=%d: size %d", k, d.Size())
+		}
+		for j, v := range d.Values {
+			if v <= 0 {
+				t.Fatalf("k=%d: non-positive value %v", k, v)
+			}
+			if d.Probs[j] != 1/float64(k) {
+				t.Fatalf("k=%d: probability %v not equal-weight", k, d.Probs[j])
+			}
+			if j > 0 && v <= d.Values[j-1] {
+				t.Fatalf("k=%d: values not strictly increasing", k)
+			}
+		}
+	}
+	// The median atom of an odd quantization is exp(0) = 1.
+	d := LogNormalQuantized(0.7, 5)
+	if got := d.Values[2]; !numeric.AlmostEqual(got, 1, 1e-12) {
+		t.Fatalf("median atom %v, want 1", got)
+	}
+}
+
+func TestDiscreteSampleRespectsDistributionShift(t *testing.T) {
+	// Two disjoint supports sampled from split streams of one seed stay
+	// reproducible — the per-goroutine idiom the Monte-Carlo engines use.
+	d1 := UniformOver([]float64{0, 1})
+	d2 := UniformOver([]float64{10, 20, 30})
+	root := rng.New(2024)
+	s1, s2 := root.Split(), root.Split()
+	root2 := rng.New(2024)
+	t1, t2 := root2.Split(), root2.Split()
+	for i := 0; i < 50; i++ {
+		if d1.Sample(s1) != d1.Sample(t1) || d2.Sample(s2) != d2.Sample(t2) {
+			t.Fatal("split streams diverged")
+		}
+	}
+}

@@ -1,0 +1,30 @@
+// Package dist implements the value-distribution layer of §2.1: each
+// uncertain object o_i carries a random true value X_i, and everything
+// else in the library — expected-variance engines, MaxPr evaluators,
+// greedy selectors — consumes X_i only through the laws defined here.
+//
+// Two concrete laws cover the paper's experiments:
+//
+//   - *Discrete is a finite-support probability mass function
+//     Pr[X = v_j] = p_j, the form of the synthetic §4.3 generators
+//     (URx, LNx, SMx) and of the worked Examples 3, 5 and 6. Exported
+//     Values/Probs expose the support directly to the enumeration
+//     engines; probabilities are normalized to sum to one on
+//     construction.
+//   - Normal is the Gaussian error model X ~ N(μ, σ²) used for the
+//     real-world series of §4.2 (reported estimate μ = u_i with a
+//     published standard error σ). Sigma = 0 degenerates to a point
+//     mass, which several Lemma 3.3 edge cases rely on.
+//
+// Both satisfy model.Value (Mean, Variance). Combinators build
+// compound laws: Mixture pools conflicting source reports into a
+// credibility-weighted opinion pool, WeightedSum convolves the exact
+// law of offset + Σ w_i·X_i (the "drop" variable of Eq. (2)), and
+// FuseNormals resolves independent Gaussian reports of one quantity by
+// precision weighting.
+//
+// Sampling is deterministic given an rng.RNG stream: Discrete samples
+// by inverse CDF and Normal draws from the generator's Box-Muller
+// stream, so a fixed seed reproduces every Monte-Carlo figure
+// bit-for-bit.
+package dist

@@ -1,0 +1,65 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/factcheck/cleansel/internal/rng"
+)
+
+// Normal is the Gaussian error model X ~ N(Mu, Sigma²) of §2.1: the
+// database's reported estimate is the mean, the published standard error
+// is Sigma. It is a small value type — copy freely. Sigma = 0 is the
+// degenerate point mass at Mu.
+type Normal struct {
+	Mu    float64
+	Sigma float64
+}
+
+// NewNormal builds a validated normal law. Sigma must be finite and
+// non-negative; zero is allowed (Lemma 3.3's deterministic edge cases).
+func NewNormal(mu, sigma float64) (Normal, error) {
+	if math.IsNaN(mu) || math.IsInf(mu, 0) {
+		return Normal{}, fmt.Errorf("dist: normal mean %v must be finite", mu)
+	}
+	if math.IsNaN(sigma) || math.IsInf(sigma, 0) || sigma < 0 {
+		return Normal{}, fmt.Errorf("dist: normal sigma %v must be finite and non-negative", sigma)
+	}
+	return Normal{Mu: mu, Sigma: sigma}, nil
+}
+
+// Mean returns E[X] = Mu.
+func (n Normal) Mean() float64 { return n.Mu }
+
+// Variance returns Var[X] = Sigma².
+func (n Normal) Variance() float64 { return n.Sigma * n.Sigma }
+
+// Sample draws from N(Mu, Sigma²) using the generator's Box-Muller
+// stream; a fixed seed reproduces the draw sequence exactly.
+func (n Normal) Sample(r *rng.RNG) float64 {
+	if n.Sigma == 0 {
+		return n.Mu
+	}
+	return r.Normal(n.Mu, n.Sigma)
+}
+
+// Discretize returns the k-point equal-probability discretization used
+// when an exact discrete engine needs a finite support (§4.2 feeds the
+// CDC normals to the group engines this way): point j sits at the
+// conditional bin center Mu + Sigma·Φ⁻¹((j+1/2)/k). The quantile grid is
+// exactly symmetric, so the discretized mean equals Mu; the variance is
+// slightly below Sigma² and converges to it as k grows. A zero-Sigma
+// model discretizes to its point mass regardless of k.
+func (n Normal) Discretize(k int) *Discrete {
+	if n.Sigma == 0 {
+		return PointMass(n.Mu)
+	}
+	zs := symmetricQuantiles(k)
+	values := make([]float64, k)
+	probs := make([]float64, k)
+	for j, z := range zs {
+		values[j] = n.Mu + n.Sigma*z
+		probs[j] = 1 / float64(k)
+	}
+	return MustDiscrete(values, probs)
+}
