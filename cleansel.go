@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 
 	"github.com/factcheck/cleansel/internal/claims"
 	"github.com/factcheck/cleansel/internal/core"
@@ -226,6 +227,21 @@ func (m Measure) String() string {
 	return fmt.Sprintf("measure(%d)", int(m))
 }
 
+// ParseMeasure maps a wire-format name ("fairness", "uniqueness",
+// "robustness"; case-insensitive) to its Measure. The empty string
+// defaults to Fairness.
+func ParseMeasure(s string) (Measure, error) {
+	switch strings.ToLower(s) {
+	case "fairness", "":
+		return Fairness, nil
+	case "uniqueness":
+		return Uniqueness, nil
+	case "robustness":
+		return Robustness, nil
+	}
+	return 0, fmt.Errorf("cleansel: unknown measure %q", s)
+}
+
 // Goal selects the optimization objective (§2.1).
 type Goal int
 
@@ -236,6 +252,30 @@ const (
 	// MaximizeSurprise is MaxPr: maximize the chance of countering.
 	MaximizeSurprise
 )
+
+// String implements fmt.Stringer.
+func (g Goal) String() string {
+	switch g {
+	case MinimizeUncertainty:
+		return "minvar"
+	case MaximizeSurprise:
+		return "maxpr"
+	}
+	return fmt.Sprintf("goal(%d)", int(g))
+}
+
+// ParseGoal maps a wire-format name ("minvar", "maxpr";
+// case-insensitive) to its Goal. The empty string defaults to
+// MinimizeUncertainty.
+func ParseGoal(s string) (Goal, error) {
+	switch strings.ToLower(s) {
+	case "minvar", "":
+		return MinimizeUncertainty, nil
+	case "maxpr":
+		return MaximizeSurprise, nil
+	}
+	return 0, fmt.Errorf("cleansel: unknown goal %q", s)
+}
 
 // Algorithm selects the solver.
 type Algorithm int
@@ -254,6 +294,42 @@ const (
 	// AlgoRandom is the random baseline.
 	AlgoRandom
 )
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgoGreedy:
+		return "greedy"
+	case AlgoOptimum:
+		return "optimum"
+	case AlgoBest:
+		return "best"
+	case AlgoNaive:
+		return "naive"
+	case AlgoRandom:
+		return "random"
+	}
+	return fmt.Sprintf("algorithm(%d)", int(a))
+}
+
+// ParseAlgorithm maps a wire-format name ("greedy", "optimum", "best",
+// "naive", "random"; case-insensitive) to its Algorithm. The empty
+// string defaults to AlgoGreedy.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	switch strings.ToLower(s) {
+	case "greedy", "":
+		return AlgoGreedy, nil
+	case "optimum":
+		return AlgoOptimum, nil
+	case "best":
+		return AlgoBest, nil
+	case "naive":
+		return AlgoNaive, nil
+	case "random":
+		return AlgoRandom, nil
+	}
+	return 0, fmt.Errorf("cleansel: unknown algorithm %q", s)
+}
 
 // Task describes one selection problem.
 type Task struct {

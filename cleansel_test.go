@@ -167,6 +167,9 @@ func TestAssessClaim(t *testing.T) {
 }
 
 func TestAssessClaimNormalDBDiscretizes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping full-width Adoptions assessment in -short mode (~17s)")
+	}
 	db := cleansel.Adoptions(1)
 	orig := cleansel.WindowComparison("orig", 0, 4, 4)
 	perturbs := cleansel.SlidingComparisons("cmp", db.N(), 4, 0, 1.5)

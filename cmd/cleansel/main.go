@@ -1,6 +1,7 @@
 // Command cleansel solves ad-hoc cleaning-selection problems from a JSON
 // specification on stdin (or -in file) and reports the chosen values as
-// JSON on stdout.
+// JSON on stdout. The specification format is the cleanseld select wire
+// format (internal/server/wire), minus dataset references.
 //
 // Example specification:
 //
@@ -25,221 +26,88 @@
 //	}
 //
 // Normal value models are discretized (6 points) when a discrete engine
-// is required.
+// is required; "discretize" overrides the point count.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"strconv"
-	"strings"
 
 	cleansel "github.com/factcheck/cleansel"
+	"github.com/factcheck/cleansel/internal/server/wire"
 )
 
-type objectSpec struct {
-	Name    string    `json:"name"`
-	Current float64   `json:"current"`
-	Cost    float64   `json:"cost"`
-	Values  []float64 `json:"values,omitempty"`
-	Probs   []float64 `json:"probs,omitempty"`
-	Normal  *normSpec `json:"normal,omitempty"`
-}
-
-type normSpec struct {
-	Mean  float64 `json:"mean"`
-	Sigma float64 `json:"sigma"`
-}
-
-type claimSpec struct {
-	Name  string             `json:"name"`
-	Const float64            `json:"const,omitempty"`
-	Coef  map[string]float64 `json:"coef"`
-}
-
-type perturbSpec struct {
-	Claim       claimSpec `json:"claim"`
-	Sensibility float64   `json:"sensibility"`
-}
-
-type taskSpec struct {
-	Objects       []objectSpec  `json:"objects"`
-	Claim         claimSpec     `json:"claim"`
-	Direction     string        `json:"direction"` // "higher" or "lower"
-	Reference     *float64      `json:"reference,omitempty"`
-	Perturbations []perturbSpec `json:"perturbations"`
-	Measure       string        `json:"measure"`   // fairness|uniqueness|robustness
-	Goal          string        `json:"goal"`      // minvar|maxpr
-	Algorithm     string        `json:"algorithm"` // greedy|optimum|best|naive|random
-	Budget        float64       `json:"budget"`
-	Tau           float64       `json:"tau,omitempty"`
-	Seed          uint64        `json:"seed,omitempty"`
-	Discretize    int           `json:"discretize,omitempty"`
-}
-
-type output struct {
-	Chosen    []string `json:"chosen"`
-	IDs       []int    `json:"ids"`
-	CostSpent float64  `json:"cost_spent"`
-	Before    float64  `json:"objective_before"`
-	After     float64  `json:"objective_after"`
-}
-
 func main() {
-	inFlag := flag.String("in", "-", "input file (default stdin)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
 
-	var r io.Reader = os.Stdin
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cleansel", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	inFlag := fs.String("in", "-", "input file (default stdin)")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: cleansel [-in spec.json] < spec.json")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2 // flag package already printed the usage message
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "cleansel: unexpected argument %q\n", fs.Arg(0))
+		fs.Usage()
+		return 2
+	}
+
+	r := stdin
 	if *inFlag != "-" {
 		f, err := os.Open(*inFlag)
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, "cleansel:", err)
+			return 1
 		}
 		defer f.Close()
 		r = f
 	}
-	var spec taskSpec
-	dec := json.NewDecoder(r)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&spec); err != nil {
-		fatal(fmt.Errorf("parsing spec: %w", err))
+	spec, err := wire.DecodeTask(r)
+	if err != nil {
+		fmt.Fprintln(stderr, "cleansel:", err)
+		fs.Usage()
+		return 2
 	}
 	res, err := solve(spec)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "cleansel:", err)
+		return 1
 	}
-	enc := json.NewEncoder(os.Stdout)
+	enc := json.NewEncoder(stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(res); err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "cleansel:", err)
+		return 1
 	}
+	return 0
 }
 
-func solve(spec taskSpec) (*output, error) {
-	objs := make([]cleansel.Object, len(spec.Objects))
-	needDiscrete := strings.EqualFold(spec.Measure, "uniqueness") || strings.EqualFold(spec.Measure, "robustness")
-	k := spec.Discretize
-	if k <= 0 {
-		k = 6
+// solve maps the wire task onto the cleansel API and runs the selection.
+func solve(spec wire.Task) (wire.Result, error) {
+	if spec.DatasetID != "" {
+		return wire.Result{}, errors.New("dataset_id requires the cleanseld service; inline the objects instead")
 	}
-	for i, o := range spec.Objects {
-		obj := cleansel.Object{Name: o.Name, Current: o.Current, Cost: o.Cost}
-		switch {
-		case o.Normal != nil:
-			n, err := cleansel.NewNormal(o.Normal.Mean, o.Normal.Sigma)
-			if err != nil {
-				return nil, fmt.Errorf("object %q: %w", o.Name, err)
-			}
-			obj.Value = n
-		case len(o.Values) > 0:
-			d, err := cleansel.NewDiscrete(o.Values, o.Probs)
-			if err != nil {
-				return nil, fmt.Errorf("object %q: %w", o.Name, err)
-			}
-			obj.Value = d
-		default:
-			return nil, fmt.Errorf("object %q: need values/probs or normal", o.Name)
-		}
-		objs[i] = obj
-	}
-	db := cleansel.NewDB(objs)
-	if needDiscrete {
-		db = db.Discretized(k)
-	}
-
-	orig, err := buildClaim(spec.Claim, db.N())
+	db, err := wire.BuildDB(spec.Objects)
 	if err != nil {
-		return nil, err
+		return wire.Result{}, err
 	}
-	dir := cleansel.HigherIsStronger
-	switch strings.ToLower(spec.Direction) {
-	case "higher", "":
-	case "lower":
-		dir = cleansel.LowerIsStronger
-	default:
-		return nil, fmt.Errorf("unknown direction %q", spec.Direction)
-	}
-	ref := orig.Eval(db.Currents())
-	if spec.Reference != nil {
-		ref = *spec.Reference
-	}
-	perturbs := make([]cleansel.Perturbed, len(spec.Perturbations))
-	for i, p := range spec.Perturbations {
-		cl, err := buildClaim(p.Claim, db.N())
-		if err != nil {
-			return nil, err
-		}
-		perturbs[i] = cleansel.Perturbed{Claim: cl, Sensibility: p.Sensibility}
-	}
-	set, err := cleansel.NewPerturbationSet(orig, dir, ref, perturbs)
+	task, err := spec.BuildTask(db)
 	if err != nil {
-		return nil, err
-	}
-
-	task := cleansel.Task{
-		DB: db, Claims: set, Budget: spec.Budget, Tau: spec.Tau, Seed: spec.Seed,
-	}
-	switch strings.ToLower(spec.Measure) {
-	case "fairness", "":
-		task.Measure = cleansel.Fairness
-	case "uniqueness":
-		task.Measure = cleansel.Uniqueness
-	case "robustness":
-		task.Measure = cleansel.Robustness
-	default:
-		return nil, fmt.Errorf("unknown measure %q", spec.Measure)
-	}
-	switch strings.ToLower(spec.Goal) {
-	case "minvar", "":
-		task.Goal = cleansel.MinimizeUncertainty
-	case "maxpr":
-		task.Goal = cleansel.MaximizeSurprise
-	default:
-		return nil, fmt.Errorf("unknown goal %q", spec.Goal)
-	}
-	switch strings.ToLower(spec.Algorithm) {
-	case "greedy", "":
-		task.Algorithm = cleansel.AlgoGreedy
-	case "optimum":
-		task.Algorithm = cleansel.AlgoOptimum
-	case "best":
-		task.Algorithm = cleansel.AlgoBest
-	case "naive":
-		task.Algorithm = cleansel.AlgoNaive
-	case "random":
-		task.Algorithm = cleansel.AlgoRandom
-	default:
-		return nil, fmt.Errorf("unknown algorithm %q", spec.Algorithm)
+		return wire.Result{}, err
 	}
 	res, err := cleansel.Select(task)
 	if err != nil {
-		return nil, err
+		return wire.Result{}, err
 	}
-	return &output{
-		Chosen:    res.Chosen,
-		IDs:       res.Set,
-		CostSpent: res.CostSpent,
-		Before:    res.Before,
-		After:     res.After,
-	}, nil
-}
-
-func buildClaim(spec claimSpec, n int) (*cleansel.Claim, error) {
-	coef := make(map[int]float64, len(spec.Coef))
-	for key, v := range spec.Coef {
-		id, err := strconv.Atoi(key)
-		if err != nil || id < 0 || id >= n {
-			return nil, fmt.Errorf("claim %q: bad object id %q", spec.Name, key)
-		}
-		coef[id] = v
-	}
-	return cleansel.NewClaim(spec.Name, spec.Const, coef), nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "cleansel:", err)
-	os.Exit(1)
+	return wire.EncodeResult(res), nil
 }

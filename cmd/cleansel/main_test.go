@@ -1,9 +1,11 @@
 package main
 
 import (
-	"encoding/json"
+	"bytes"
 	"strings"
 	"testing"
+
+	"github.com/factcheck/cleansel/internal/server/wire"
 )
 
 const sampleSpec = `{
@@ -28,12 +30,10 @@ const sampleSpec = `{
   "budget": 3
 }`
 
-func parseSpec(t *testing.T, raw string) taskSpec {
+func parseSpec(t *testing.T, raw string) wire.Task {
 	t.Helper()
-	var spec taskSpec
-	dec := json.NewDecoder(strings.NewReader(raw))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&spec); err != nil {
+	spec, err := wire.DecodeTask(strings.NewReader(raw))
+	if err != nil {
 		t.Fatal(err)
 	}
 	return spec
@@ -81,15 +81,16 @@ func TestSolveAlgorithms(t *testing.T) {
 }
 
 func TestSolveRejectsBadSpecs(t *testing.T) {
-	cases := []func(*taskSpec){
-		func(s *taskSpec) { s.Objects[0].Values = nil; s.Objects[0].Probs = nil },
-		func(s *taskSpec) { s.Direction = "sideways" },
-		func(s *taskSpec) { s.Measure = "vibes" },
-		func(s *taskSpec) { s.Goal = "maximin" },
-		func(s *taskSpec) { s.Algorithm = "quantum" },
-		func(s *taskSpec) { s.Claim.Coef = map[string]float64{"99": 1} },
-		func(s *taskSpec) { s.Claim.Coef = map[string]float64{"x": 1} },
-		func(s *taskSpec) { s.Perturbations = nil },
+	cases := []func(*wire.Task){
+		func(s *wire.Task) { s.Objects[0].Values = nil; s.Objects[0].Probs = nil },
+		func(s *wire.Task) { s.Direction = "sideways" },
+		func(s *wire.Task) { s.Measure = "vibes" },
+		func(s *wire.Task) { s.Goal = "maximin" },
+		func(s *wire.Task) { s.Algorithm = "quantum" },
+		func(s *wire.Task) { s.Claim.Coef = map[string]float64{"99": 1} },
+		func(s *wire.Task) { s.Claim.Coef = map[string]float64{"x": 1} },
+		func(s *wire.Task) { s.Perturbations = nil },
+		func(s *wire.Task) { s.DatasetID = "ds_deadbeef" },
 	}
 	for i, mutate := range cases {
 		spec := parseSpec(t, sampleSpec)
@@ -113,5 +114,48 @@ func TestSolveLowerDirection(t *testing.T) {
 	spec.Direction = "lower"
 	if _, err := solve(spec); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunSolvesSpecFromStdin(t *testing.T) {
+	var out, errs bytes.Buffer
+	if code := run(nil, strings.NewReader(sampleSpec), &out, &errs); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errs.String())
+	}
+	for _, want := range []string{`"chosen"`, `"ids"`, `"cost_spent"`, `"objective_before"`, `"objective_after"`} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %s:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunFlagAndInputHygiene(t *testing.T) {
+	cases := []struct {
+		name  string
+		args  []string
+		stdin string
+		code  int
+	}{
+		{"unknown flag", []string{"-frobnicate"}, sampleSpec, 2},
+		{"positional arg", []string{"spec.json"}, sampleSpec, 2},
+		{"malformed json", nil, `{"objects": [`, 2},
+		{"unknown field", nil, `{"objects": [], "wat": 1}`, 2},
+		{"missing input file", []string{"-in", "/does/not/exist.json"}, "", 1},
+		{"invalid problem", nil, `{"objects": [], "claim": {"name": "c", "coef": {}}, "perturbations": [], "budget": 1}`, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errs bytes.Buffer
+			code := run(tc.args, strings.NewReader(tc.stdin), &out, &errs)
+			if code != tc.code {
+				t.Fatalf("exit %d, want %d (stderr: %s)", code, tc.code, errs.String())
+			}
+			if out.Len() != 0 {
+				t.Fatalf("partial output emitted: %s", out.String())
+			}
+			if errs.Len() == 0 {
+				t.Fatal("no diagnostic on stderr")
+			}
+		})
 	}
 }

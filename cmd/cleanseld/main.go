@@ -1,0 +1,124 @@
+// Command cleanseld serves the cleansel selection API over HTTP/JSON.
+//
+// Endpoints (see internal/server for the wire format):
+//
+//	POST /v1/datasets      upload a dataset once, get a content-addressed ID
+//	GET  /v1/datasets/{id} dataset metadata
+//	POST /v1/select        solve a selection task (MinVar/MaxPr)
+//	POST /v1/rank          benefit-per-cost ranking of every object
+//	POST /v1/assess        claim-quality report (bias/duplicity/fragility)
+//	GET  /healthz          liveness and cache statistics
+//
+// A quickstart against the examples/quickstart dataset:
+//
+//	cleanseld -addr 127.0.0.1:8080 &
+//	curl -X POST --data @examples/quickstart/dataset.json http://127.0.0.1:8080/v1/datasets
+//	curl -X POST --data @examples/quickstart/select.json  http://127.0.0.1:8080/v1/select
+//
+// Repeated identical select/rank/assess requests are answered from an
+// LRU result cache (X-Cache: hit). -addr-file writes the bound address
+// (useful with -addr :0) for scripts that need the chosen port.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/factcheck/cleansel/internal/server"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stderr))
+}
+
+func run(args []string, errw *os.File) int {
+	fs := flag.NewFlagSet("cleanseld", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	var (
+		addr        = fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+		addrFile    = fs.String("addr-file", "", "write the bound address to this file once listening")
+		timeout     = fs.Duration("timeout", 30*time.Second, "per-request compute timeout")
+		cacheSize   = fs.Int("cache", 1024, "result cache capacity in entries (negative disables)")
+		maxDatasets = fs.Int("max-datasets", 64, "dataset store capacity")
+		maxBody     = fs.Int64("max-body", 8<<20, "maximum request body bytes")
+		maxInflight = fs.Int("max-inflight", 0, "concurrent solver cap (0 = GOMAXPROCS)")
+		logJSON     = fs.Bool("log-json", false, "emit JSON logs instead of text")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(errw, "usage: cleanseld [flags]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2 // flag package already printed the usage message
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(errw, "cleanseld: unexpected argument %q\n", fs.Arg(0))
+		fs.Usage()
+		return 2
+	}
+
+	var handler slog.Handler = slog.NewTextHandler(errw, nil)
+	if *logJSON {
+		handler = slog.NewJSONHandler(errw, nil)
+	}
+	logger := slog.New(handler)
+
+	srv := server.New(server.Config{
+		Logger:       logger,
+		Timeout:      *timeout,
+		CacheSize:    *cacheSize,
+		MaxDatasets:  *maxDatasets,
+		MaxBodyBytes: *maxBody,
+		MaxInflight:  *maxInflight,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Error("listen", "addr", *addr, "err", err)
+		return 1
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound), 0o644); err != nil {
+			logger.Error("writing addr-file", "path", *addrFile, "err", err)
+			return 1
+		}
+	}
+	logger.Info("listening", "addr", bound)
+
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.Serve(ln) }()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-stop:
+		logger.Info("shutting down", "signal", sig.String())
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			logger.Error("shutdown", "err", err)
+			return 1
+		}
+		return 0
+	case err := <-done:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Error("serve", "err", err)
+			return 1
+		}
+		return 0
+	}
+}

@@ -32,4 +32,10 @@
 // and the paper's synthetic generators (URx, LNx, SMx) are exposed for
 // experimentation, and cmd/repro regenerates every figure of the paper's
 // evaluation section.
+//
+// Beyond the library, cmd/cleansel solves one selection problem from a
+// JSON specification, and cmd/cleanseld serves the same wire format over
+// HTTP/JSON (POST /v1/select, /v1/rank, /v1/assess, with uploaded
+// datasets and an LRU result cache) for long-running deployments; see
+// the README for endpoint documentation and curl examples.
 package cleansel

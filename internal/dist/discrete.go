@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
+	"sync/atomic"
 
 	"github.com/factcheck/cleansel/internal/numeric"
 	"github.com/factcheck/cleansel/internal/rng"
@@ -18,6 +20,77 @@ import (
 type Discrete struct {
 	Values []float64
 	Probs  []float64
+
+	// idx caches the sorted-support/cumulative tables that turn
+	// Prob/PrBelow/Sample from linear scans into binary searches on wide
+	// supports. It is built lazily on first query and shared safely across
+	// goroutines (engines query one law concurrently); Clone drops it.
+	idx atomic.Pointer[discreteIndex]
+}
+
+// smallSupport is the support size below which the plain linear scans
+// win: they touch a handful of contiguous floats and allocate nothing.
+const smallSupport = 16
+
+// discreteIndex holds the query-acceleration tables of one Discrete.
+type discreteIndex struct {
+	// cum[j] is the running probability sum over the support order,
+	// accumulated exactly like the legacy Sample loop so inverse-CDF
+	// draws stay bit-identical under a fixed seed.
+	cum []float64
+	// lastPositive is the largest j with Probs[j] > 0 (round-off
+	// fall-through target of Sample), or len-1 when all mass is zero.
+	lastPositive int
+	// order is the support permutation sorting values ascending;
+	// sortedVals[i] = Values[order[i]].
+	order      []int
+	sortedVals []float64
+	// below[i] = Pr[X < sortedVals[i]] (Kahan-accumulated over the
+	// sorted order), with below[len] = 1-ish total for queries above the
+	// support.
+	below []float64
+}
+
+// index returns the cached tables, building them on first use. Two
+// racing builders do redundant work but agree on the result.
+func (d *Discrete) index() *discreteIndex {
+	if ix := d.idx.Load(); ix != nil {
+		return ix
+	}
+	n := len(d.Values)
+	ix := &discreteIndex{
+		cum:          make([]float64, n),
+		lastPositive: n - 1,
+		order:        make([]int, n),
+		sortedVals:   make([]float64, n),
+		below:        make([]float64, n+1),
+	}
+	var cum float64
+	for j, p := range d.Probs {
+		cum += p
+		ix.cum[j] = cum
+	}
+	for j := n - 1; j >= 0; j-- {
+		if d.Probs[j] > 0 {
+			ix.lastPositive = j
+			break
+		}
+	}
+	for j := range ix.order {
+		ix.order[j] = j
+	}
+	sort.SliceStable(ix.order, func(a, b int) bool {
+		return d.Values[ix.order[a]] < d.Values[ix.order[b]]
+	})
+	var acc numeric.KahanAcc
+	for i, j := range ix.order {
+		ix.sortedVals[i] = d.Values[j]
+		ix.below[i] = acc.Value()
+		acc.Add(d.Probs[j])
+	}
+	ix.below[n] = acc.Value()
+	d.idx.Store(ix)
+	return ix
 }
 
 // NewDiscrete builds a validated law from a support and (possibly
@@ -147,11 +220,21 @@ func (d *Discrete) Variance() float64 {
 // comparison is exact; callers that quantized their arithmetic should
 // query with values from the support itself.
 func (d *Discrete) Prob(v float64) float64 {
-	var acc numeric.KahanAcc
-	for j, sv := range d.Values {
-		if sv == v {
-			acc.Add(d.Probs[j])
+	if len(d.Values) <= smallSupport {
+		var acc numeric.KahanAcc
+		for j, sv := range d.Values {
+			if sv == v {
+				acc.Add(d.Probs[j])
+			}
 		}
+		return acc.Value()
+	}
+	ix := d.index()
+	// The stable sort keeps duplicates in support order, so this Kahan
+	// sum visits the same masses in the same order as the linear scan.
+	var acc numeric.KahanAcc
+	for i := sort.SearchFloat64s(ix.sortedVals, v); i < len(ix.sortedVals) && ix.sortedVals[i] == v; i++ {
+		acc.Add(d.Probs[ix.order[i]])
 	}
 	return acc.Value()
 }
@@ -159,34 +242,51 @@ func (d *Discrete) Prob(v float64) float64 {
 // PrBelow returns Pr[X < v] (strictly below — the Eq. (2) surprise event
 // D < −τ is a strict inequality).
 func (d *Discrete) PrBelow(v float64) float64 {
-	var acc numeric.KahanAcc
-	for j, sv := range d.Values {
-		if sv < v {
-			acc.Add(d.Probs[j])
+	if len(d.Values) <= smallSupport {
+		var acc numeric.KahanAcc
+		for j, sv := range d.Values {
+			if sv < v {
+				acc.Add(d.Probs[j])
+			}
 		}
+		return acc.Value()
 	}
-	return acc.Value()
+	if math.IsNaN(v) {
+		return 0 // matches the linear scan: no value compares below NaN
+	}
+	ix := d.index()
+	return ix.below[sort.SearchFloat64s(ix.sortedVals, v)]
 }
 
 // Sample draws from the law by inverse CDF over the support order, so a
 // fixed rng.RNG seed yields a reproducible stream.
 func (d *Discrete) Sample(r *rng.RNG) float64 {
 	u := r.Float64()
-	var cum float64
-	for j, p := range d.Probs {
-		cum += p
-		if u < cum {
-			return d.Values[j]
+	if len(d.Values) <= smallSupport {
+		var cum float64
+		for j, p := range d.Probs {
+			cum += p
+			if u < cum {
+				return d.Values[j]
+			}
 		}
-	}
-	// Round-off can leave cum a hair under 1; the draw belongs to the
-	// last positive-probability atom.
-	for j := len(d.Probs) - 1; j >= 0; j-- {
-		if d.Probs[j] > 0 {
-			return d.Values[j]
+		// Round-off can leave cum a hair under 1; the draw belongs to
+		// the last positive-probability atom.
+		for j := len(d.Probs) - 1; j >= 0; j-- {
+			if d.Probs[j] > 0 {
+				return d.Values[j]
+			}
 		}
+		return d.Values[len(d.Values)-1]
 	}
-	return d.Values[len(d.Values)-1]
+	// ix.cum repeats the linear loop's running sums, so the first index
+	// with u < cum[j] — and therefore the drawn stream — is unchanged.
+	ix := d.index()
+	j := sort.Search(len(ix.cum), func(i int) bool { return u < ix.cum[i] })
+	if j == len(ix.cum) {
+		j = ix.lastPositive
+	}
+	return d.Values[j]
 }
 
 // Clone returns a deep copy safe to mutate.

@@ -164,6 +164,130 @@ func TestSamplePointMassAndZeroProbAtoms(t *testing.T) {
 	}
 }
 
+// wideDiscrete builds a support large enough to engage the sorted-index
+// fast path, with duplicates and a zero-mass atom mixed in, in an order
+// that is deliberately not sorted.
+func wideDiscrete(t *testing.T, n int) *Discrete {
+	t.Helper()
+	values := make([]float64, n)
+	probs := make([]float64, n)
+	r := rng.New(7)
+	for i := range values {
+		values[i] = math.Floor(r.Float64()*20) - 10 // many duplicates
+		probs[i] = r.Float64()
+	}
+	probs[n/2] = 0
+	d, err := NewDiscrete(values, probs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestWideSupportMatchesLinearScan(t *testing.T) {
+	d := wideDiscrete(t, 10*smallSupport)
+	queries := append(append([]float64(nil), d.Values...),
+		-100, 100, 0.5, math.Inf(1), math.Inf(-1), math.NaN())
+	for _, v := range queries {
+		var prob, below numeric.KahanAcc
+		for j, sv := range d.Values {
+			if sv == v {
+				prob.Add(d.Probs[j])
+			}
+			if sv < v {
+				below.Add(d.Probs[j])
+			}
+		}
+		if got := d.Prob(v); !numeric.AlmostEqual(got, prob.Value(), 1e-12) {
+			t.Fatalf("Prob(%v) = %v, want %v", v, got, prob.Value())
+		}
+		if got := d.PrBelow(v); !numeric.AlmostEqual(got, below.Value(), 1e-12) {
+			t.Fatalf("PrBelow(%v) = %v, want %v", v, got, below.Value())
+		}
+	}
+}
+
+func TestWideSupportSampleMatchesLinearScan(t *testing.T) {
+	d := wideDiscrete(t, 10*smallSupport)
+	ref, scan := rng.New(321), rng.New(321)
+	for i := 0; i < 5000; i++ {
+		// Reference: the pre-index inverse-CDF linear scan.
+		u := ref.Float64()
+		want := math.NaN()
+		cum := 0.0
+		for j, p := range d.Probs {
+			cum += p
+			if u < cum {
+				want = d.Values[j]
+				break
+			}
+		}
+		if math.IsNaN(want) {
+			want = d.Values[len(d.Values)-1]
+		}
+		if got := d.Sample(scan); got != want {
+			t.Fatalf("draw %d: %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestWideSupportConcurrentQueries(t *testing.T) {
+	// First queries race to build the index; all must agree.
+	d := wideDiscrete(t, 10*smallSupport)
+	want := 0.0
+	for j, sv := range d.Values {
+		if sv < 0 {
+			want += d.Probs[j]
+		}
+	}
+	done := make(chan float64, 8)
+	for g := 0; g < 8; g++ {
+		go func() { done <- d.PrBelow(0) }()
+	}
+	for g := 0; g < 8; g++ {
+		if got := <-done; !numeric.AlmostEqual(got, want, 1e-9) {
+			t.Fatalf("concurrent PrBelow(0) = %v, want %v", got, want)
+		}
+	}
+}
+
+// benchWide builds a 4096-atom law for the index-path benchmarks.
+func benchWide(b *testing.B) *Discrete {
+	b.Helper()
+	n := 4096
+	values := make([]float64, n)
+	probs := make([]float64, n)
+	r := rng.New(11)
+	for i := range values {
+		values[i] = r.Float64() * 1e6
+		probs[i] = r.Float64()
+	}
+	d, err := NewDiscrete(values, probs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+func BenchmarkPrBelowWide(b *testing.B) {
+	d := benchWide(b)
+	d.PrBelow(0) // build the index outside the timer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.PrBelow(float64(i%1000) * 1e3)
+	}
+}
+
+func BenchmarkSampleWide(b *testing.B) {
+	d := benchWide(b)
+	r := rng.New(13)
+	d.Sample(r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Sample(r)
+	}
+}
+
 func TestLogNormalQuantized(t *testing.T) {
 	for _, k := range []int{1, 2, 5, 6} {
 		d := LogNormalQuantized(0.7, k)

@@ -146,6 +146,9 @@ func TestFig1Small(t *testing.T) {
 }
 
 func TestFig2Small(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping CDC uniqueness sweep in -short mode (~4s)")
+	}
 	figs, err := Run("fig2", Small, 42)
 	if err != nil {
 		t.Fatal(err)
@@ -243,6 +246,9 @@ func TestFig6Small(t *testing.T) {
 }
 
 func TestFig8Small(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping in-action sweep in -short mode (~4s)")
+	}
 	figs, err := Run("fig8", Small, 42)
 	if err != nil {
 		t.Fatal(err)
@@ -343,6 +349,9 @@ func TestThm39Small(t *testing.T) {
 }
 
 func TestCountersSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping counter-example sweep in -short mode (~17s)")
+	}
 	figs, err := Run("counters", Small, 42)
 	if err != nil {
 		t.Fatal(err)
@@ -380,6 +389,9 @@ func TestFig9Small(t *testing.T) {
 }
 
 func TestAdaptiveSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping adaptive-policy sweep in -short mode (~7s)")
+	}
 	figs, err := Run("adaptive", Small, 42)
 	if err != nil {
 		t.Fatal(err)

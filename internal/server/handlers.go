@@ -1,0 +1,189 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	cleansel "github.com/factcheck/cleansel"
+	"github.com/factcheck/cleansel/internal/server/wire"
+)
+
+// limitBody bounds the request body so oversized payloads fail as 413
+// instead of exhausting memory.
+func (s *Server) limitBody(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+}
+
+// resolveDB produces the database a problem refers to: the stored
+// dataset when dataset_id is given, the inline objects otherwise.
+func (s *Server) resolveDB(p wire.Problem) (*cleansel.DB, error) {
+	switch {
+	case p.DatasetID != "" && len(p.Objects) > 0:
+		return nil, badRequest(errors.New("give objects or dataset_id, not both"))
+	case p.DatasetID != "":
+		ds, ok := s.store.Get(p.DatasetID)
+		if !ok {
+			return nil, notFound(fmt.Sprintf("dataset %q not found (it may have been evicted; re-upload it)", p.DatasetID))
+		}
+		return ds.DB, nil
+	default:
+		return wire.BuildDB(p.Objects)
+	}
+}
+
+// serveComputed is the shared select/rank/assess path: consult the
+// result cache under the request's canonical hash, compute on a miss
+// under the per-request timeout, and cache the encoded success.
+func (s *Server) serveComputed(w http.ResponseWriter, r *http.Request, endpoint string, req any, f func() (any, error)) {
+	key, err := cacheKey(endpoint, req)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if body, ok := s.results.Get(key); ok {
+		w.Header().Set("X-Cache", "hit")
+		w.Header().Set("Content-Type", "application/json")
+		if _, err := w.Write(body); err != nil {
+			s.log.Error("writing cached response", "err", err)
+		}
+		return
+	}
+	w.Header().Set("X-Cache", "miss")
+	v, err := s.compute(r.Context(), f)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	body, err := json.Marshal(v)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	body = append(body, '\n')
+	s.results.Put(key, body)
+	w.Header().Set("Content-Type", "application/json")
+	if _, err := w.Write(body); err != nil {
+		s.log.Error("writing response", "err", err)
+	}
+}
+
+func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
+	s.limitBody(w, r)
+	req, err := wire.DecodeTask(r.Body)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.serveComputed(w, r, "select", req, func() (any, error) {
+		db, err := s.resolveDB(req.Problem)
+		if err != nil {
+			return nil, err
+		}
+		task, err := req.BuildTask(db)
+		if err != nil {
+			return nil, err
+		}
+		res, err := cleansel.Select(task)
+		if err != nil {
+			return nil, err
+		}
+		return wire.EncodeResult(res), nil
+	})
+}
+
+func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
+	s.limitBody(w, r)
+	req, err := wire.DecodeRank(r.Body)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.serveComputed(w, r, "rank", req, func() (any, error) {
+		db, err := s.resolveDB(req.Problem)
+		if err != nil {
+			return nil, err
+		}
+		work, set, measure, err := req.BuildRank(db)
+		if err != nil {
+			return nil, err
+		}
+		ranked, err := cleansel.RankObjects(work, set, measure)
+		if err != nil {
+			return nil, err
+		}
+		return map[string]any{"objects": wire.EncodeBenefits(ranked)}, nil
+	})
+}
+
+func (s *Server) handleAssess(w http.ResponseWriter, r *http.Request) {
+	s.limitBody(w, r)
+	req, err := wire.DecodeAssess(r.Body)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.serveComputed(w, r, "assess", req, func() (any, error) {
+		db, err := s.resolveDB(req.Problem)
+		if err != nil {
+			return nil, err
+		}
+		work, set, err := req.BuildAssess(db)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := cleansel.AssessClaim(work, set)
+		if err != nil {
+			return nil, err
+		}
+		return wire.EncodeReport(rep), nil
+	})
+}
+
+// datasetInfo is the metadata the dataset endpoints report.
+type datasetInfo struct {
+	ID      string `json:"id"`
+	Name    string `json:"name,omitempty"`
+	Objects int    `json:"objects"`
+}
+
+func (s *Server) handleDatasetUpload(w http.ResponseWriter, r *http.Request) {
+	s.limitBody(w, r)
+	ds, err := wire.DecodeDataset(r.Body)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	rec, err := s.store.Add(ds)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, datasetInfo{ID: rec.ID, Name: rec.Name, Objects: rec.Objects})
+}
+
+func (s *Server) handleDatasetGet(w http.ResponseWriter, r *http.Request) {
+	rec, ok := s.store.Get(r.PathValue("id"))
+	if !ok {
+		s.writeError(w, notFound(fmt.Sprintf("dataset %q not found", r.PathValue("id"))))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, datasetInfo{ID: rec.ID, Name: rec.Name, Objects: rec.Objects})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	hits, misses := s.results.Stats()
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": int64(time.Since(s.start).Seconds()),
+		"requests":       s.requests.Load(),
+		"datasets":       s.store.Len(),
+		"cache": map[string]any{
+			"entries": s.results.Len(),
+			"hits":    hits,
+			"misses":  misses,
+		},
+	})
+}

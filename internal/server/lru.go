@@ -1,0 +1,78 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lru is a mutex-guarded least-recently-used map with a fixed capacity.
+// It backs both the result cache (canonical request hash → encoded
+// response) and the dataset store (content hash → compiled database).
+type lru[V any] struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List
+	items map[string]*list.Element
+
+	hits, misses uint64
+}
+
+type lruEntry[V any] struct {
+	key string
+	val V
+}
+
+// newLRU builds a cache holding at most max entries; max <= 0 disables
+// the cache (every Get misses, every Put is dropped).
+func newLRU[V any](max int) *lru[V] {
+	return &lru[V]{max: max, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// Get returns the cached value and marks it most recently used.
+func (c *lru[V]) Get(key string) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*lruEntry[V]).val, true
+	}
+	c.misses++
+	var zero V
+	return zero, false
+}
+
+// Put inserts or refreshes a value, evicting the least recently used
+// entry when the cache is full.
+func (c *lru[V]) Put(key string, val V) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry[V]).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	for c.ll.Len() >= c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry[V]).key)
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry[V]{key: key, val: val})
+}
+
+// Len returns the number of cached entries.
+func (c *lru[V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns cumulative hit and miss counts.
+func (c *lru[V]) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

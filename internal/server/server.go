@@ -1,0 +1,266 @@
+// Package server implements the cleanseld HTTP/JSON service: a serving
+// layer over cleansel.Select, cleansel.RankObjects, and
+// cleansel.AssessClaim.
+//
+// Endpoints:
+//
+//	POST /v1/datasets      upload a dataset once, get a content-addressed ID
+//	GET  /v1/datasets/{id} dataset metadata
+//	POST /v1/select        solve a selection task (inline objects or dataset_id)
+//	POST /v1/rank          standalone benefit ranking of every object
+//	POST /v1/assess        claim-quality report (bias/duplicity/fragility)
+//	GET  /healthz          liveness, uptime, and cache/store statistics
+//
+// Successful select/rank/assess responses are cached in an LRU keyed on
+// a canonical request hash, so repeated identical requests (the common
+// pattern when many checkers inspect one viral claim) are served without
+// recomputation; the X-Cache response header reports hit or miss.
+// Requests are bounded by a per-request timeout and a maximum body size,
+// and every request is access-logged through log/slog with latency and
+// cache-status fields.
+package server
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// Config tunes a Server. The zero value gets sensible defaults.
+type Config struct {
+	// Logger receives access and error logs; nil discards them.
+	Logger *slog.Logger
+	// Timeout bounds each request's compute time (default 30s).
+	Timeout time.Duration
+	// CacheSize is the result-cache capacity in entries (default 1024;
+	// negative disables caching).
+	CacheSize int
+	// MaxDatasets bounds the dataset store (default 64).
+	MaxDatasets int
+	// MaxBodyBytes bounds request bodies (default 8 MiB).
+	MaxBodyBytes int64
+	// MaxInflight caps concurrently running solver goroutines (default
+	// GOMAXPROCS). The solvers are CPU-bound and context-free, so a
+	// timed-out request's worker runs to completion; the cap keeps a
+	// burst of expensive requests from starving the daemon.
+	MaxInflight int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.DiscardHandler)
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 1024
+	}
+	if c.MaxDatasets <= 0 {
+		c.MaxDatasets = 64
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// Server is the cleanseld request handler.
+type Server struct {
+	cfg      Config
+	log      *slog.Logger
+	store    *datasetStore
+	results  *lru[[]byte]
+	sem      chan struct{} // counting semaphore over solver goroutines
+	start    time.Time
+	requests atomic.Uint64
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:     cfg,
+		log:     cfg.Logger,
+		store:   newDatasetStore(cfg.MaxDatasets),
+		results: newLRU[[]byte](cfg.CacheSize),
+		sem:     make(chan struct{}, cfg.MaxInflight),
+		start:   time.Now(),
+	}
+}
+
+// Handler returns the routed, logged HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/datasets", s.handleDatasetUpload)
+	mux.HandleFunc("GET /v1/datasets/{id}", s.handleDatasetGet)
+	mux.HandleFunc("POST /v1/select", s.handleSelect)
+	mux.HandleFunc("POST /v1/rank", s.handleRank)
+	mux.HandleFunc("POST /v1/assess", s.handleAssess)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s.accessLog(mux)
+}
+
+// apiError is a structured, serializable request failure.
+type apiError struct {
+	Status  int    `json:"-"`
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func (e *apiError) Error() string { return e.Message }
+
+func badRequest(err error) *apiError {
+	return &apiError{Status: http.StatusBadRequest, Code: "bad_request", Message: err.Error()}
+}
+
+func notFound(msg string) *apiError {
+	return &apiError{Status: http.StatusNotFound, Code: "not_found", Message: msg}
+}
+
+// writeError encodes err as the structured error JSON, classifying
+// non-apiError values on the way: body-limit violations map to 413,
+// timeouts to 504, everything else to a 400 (the compute layer only
+// fails on invalid problem specifications).
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	var ae *apiError
+	if !errors.As(err, &ae) {
+		switch {
+		case isBodyLimit(err):
+			ae = &apiError{Status: http.StatusRequestEntityTooLarge, Code: "payload_too_large",
+				Message: fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxBodyBytes)}
+		case errors.Is(err, context.DeadlineExceeded):
+			ae = &apiError{Status: http.StatusGatewayTimeout, Code: "timeout",
+				Message: fmt.Sprintf("request exceeded the %s compute budget", s.cfg.Timeout)}
+		default:
+			ae = badRequest(err)
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(ae.Status)
+	if encErr := json.NewEncoder(w).Encode(map[string]*apiError{"error": ae}); encErr != nil {
+		s.log.Error("encoding error response", "err", encErr)
+	}
+}
+
+// isBodyLimit reports whether err came from http.MaxBytesReader (the
+// wire decoder wraps it, so unwrap through the chain).
+func isBodyLimit(err error) bool {
+	var mbe *http.MaxBytesError
+	return errors.As(err, &mbe)
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.log.Error("encoding response", "err", err)
+	}
+}
+
+// compute runs f under the server's per-request timeout and in-flight
+// cap. The worker goroutine is abandoned (not cancelled — the solvers
+// are CPU-bound and context-free) when the deadline fires; its eventual
+// result is dropped, but it holds its semaphore slot until it actually
+// finishes, so the MaxInflight bound on burning cores is real.
+func (s *Server) compute(ctx context.Context, f func() (any, error)) (any, error) {
+	ctx, cancel := context.WithTimeout(ctx, s.cfg.Timeout)
+	defer cancel()
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, context.Cause(ctx)
+	}
+	type outcome struct {
+		v   any
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		defer func() { <-s.sem }()
+		v, err := f()
+		ch <- outcome{v, err}
+	}()
+	select {
+	case <-ctx.Done():
+		return nil, context.Cause(ctx)
+	case o := <-ch:
+		return o.v, o.err
+	}
+}
+
+// cacheKey derives the canonical hash of one decoded request. Struct
+// fields marshal in declaration order and map keys sort, so any two
+// requests with equal content share a key; the endpoint name salts the
+// hash across handlers, and dataset IDs are content-addressed, so a key
+// never aliases different problems.
+func cacheKey(endpoint string, req any) (string, error) {
+	canonical, err := json.Marshal(req)
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	h.Write([]byte(endpoint))
+	h.Write([]byte{0})
+	h.Write(canonical)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// statusRecorder captures the response status and size for access logs.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (r *statusRecorder) WriteHeader(status int) {
+	r.status = status
+	r.ResponseWriter.WriteHeader(status)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	n, err := r.ResponseWriter.Write(b)
+	r.bytes += n
+	return n, err
+}
+
+// accessLog wraps next with request counting and structured access
+// logging: method, path, status, latency, response size, cache status.
+func (s *Server) accessLog(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		rec := &statusRecorder{ResponseWriter: w}
+		begin := time.Now()
+		next.ServeHTTP(rec, r)
+		status := rec.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		attrs := []any{
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", status,
+			"dur_ms", float64(time.Since(begin).Microseconds()) / 1000,
+			"bytes", rec.bytes,
+			"remote", r.RemoteAddr,
+		}
+		if cache := rec.Header().Get("X-Cache"); cache != "" {
+			attrs = append(attrs, "cache", cache)
+		}
+		s.log.Info("request", attrs...)
+	})
+}

@@ -1,0 +1,82 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	cleansel "github.com/factcheck/cleansel"
+	"github.com/factcheck/cleansel/internal/server/wire"
+)
+
+// storedDataset is one uploaded dataset: the compiled database plus the
+// metadata the API reports back.
+type storedDataset struct {
+	ID      string
+	Name    string
+	DB      *cleansel.DB
+	Objects int
+}
+
+// datasetStore holds uploaded datasets keyed by content-addressed IDs,
+// evicting least-recently-used entries beyond its capacity. Content
+// addressing makes uploads idempotent — re-uploading the same objects
+// returns the same ID — and keeps result-cache keys valid across
+// evict/re-upload cycles.
+type datasetStore struct {
+	cache *lru[*storedDataset]
+}
+
+func newDatasetStore(max int) *datasetStore {
+	return &datasetStore{cache: newLRU[*storedDataset](max)}
+}
+
+// datasetID derives the content-addressed ID of an object list. The
+// canonical form is encoding/json's deterministic marshaling (struct
+// fields in declaration order, map keys sorted). The full 32-byte
+// digest is kept: IDs double as result-cache key material, so they
+// must not be forgeable by birthday collisions on a truncated hash.
+func datasetID(objects []wire.Object) (string, error) {
+	canonical, err := json.Marshal(objects)
+	if err != nil {
+		return "", fmt.Errorf("canonicalizing dataset: %w", err)
+	}
+	sum := sha256.Sum256(canonical)
+	return "ds_" + hex.EncodeToString(sum[:]), nil
+}
+
+// Add compiles and stores a dataset, returning its content-addressed
+// record. Re-uploading identical objects is a no-op returning the same
+// ID.
+func (s *datasetStore) Add(ds wire.Dataset) (*storedDataset, error) {
+	id, err := datasetID(ds.Objects)
+	if err != nil {
+		return nil, err
+	}
+	if got, ok := s.cache.Get(id); ok {
+		if ds.Name == "" || got.Name == ds.Name {
+			return got, nil
+		}
+		// Same content under a new label: honour the latest name (the
+		// compiled database is shared; only the metadata changes).
+		rec := &storedDataset{ID: id, Name: ds.Name, DB: got.DB, Objects: got.Objects}
+		s.cache.Put(id, rec)
+		return rec, nil
+	}
+	db, err := wire.BuildDB(ds.Objects)
+	if err != nil {
+		return nil, err
+	}
+	rec := &storedDataset{ID: id, Name: ds.Name, DB: db, Objects: db.N()}
+	s.cache.Put(id, rec)
+	return rec, nil
+}
+
+// Get returns a stored dataset by ID.
+func (s *datasetStore) Get(id string) (*storedDataset, bool) {
+	return s.cache.Get(id)
+}
+
+// Len returns the number of stored datasets.
+func (s *datasetStore) Len() int { return s.cache.Len() }

@@ -1,0 +1,343 @@
+// Package wire defines the JSON wire format shared by the cleansel CLI
+// and the cleanseld HTTP service, and maps it onto the cleansel public
+// API: objects with discrete or normal value models, linear claims with
+// perturbation sets, and the task parameters of Select/RankObjects/
+// AssessClaim. Decoding is strict (unknown fields are rejected) so that
+// malformed requests fail loudly instead of producing partial answers.
+package wire
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	cleansel "github.com/factcheck/cleansel"
+)
+
+// Object is one uncertain value: either a finite support with weights
+// (values/probs) or a normal error model.
+type Object struct {
+	Name    string    `json:"name"`
+	Current float64   `json:"current"`
+	Cost    float64   `json:"cost"`
+	Values  []float64 `json:"values,omitempty"`
+	Probs   []float64 `json:"probs,omitempty"`
+	Normal  *Normal   `json:"normal,omitempty"`
+}
+
+// Normal is a normal error model specification.
+type Normal struct {
+	Mean  float64 `json:"mean"`
+	Sigma float64 `json:"sigma"`
+}
+
+// Claim is a linear claim specification; Coef maps object IDs (decimal
+// strings, 0-based) to coefficients.
+type Claim struct {
+	Name  string             `json:"name"`
+	Const float64            `json:"const,omitempty"`
+	Coef  map[string]float64 `json:"coef"`
+}
+
+// Perturbation is one weighted perturbation of the original claim.
+type Perturbation struct {
+	Claim       Claim   `json:"claim"`
+	Sensibility float64 `json:"sensibility"`
+}
+
+// Problem names the data and the claim under scrutiny — the part of a
+// request shared by the select, rank, and assess endpoints. The data is
+// either inline (Objects) or a reference to a previously uploaded
+// dataset (DatasetID, cleanseld only).
+type Problem struct {
+	Objects       []Object       `json:"objects,omitempty"`
+	DatasetID     string         `json:"dataset_id,omitempty"`
+	Claim         Claim          `json:"claim"`
+	Direction     string         `json:"direction,omitempty"` // "higher" (default) or "lower"
+	Reference     *float64       `json:"reference,omitempty"`
+	Perturbations []Perturbation `json:"perturbations"`
+	Discretize    int            `json:"discretize,omitempty"`
+}
+
+// Task is a full selection problem: a Problem plus the optimization
+// parameters of cleansel.Select. It is the CLI's input format and the
+// body of POST /v1/select.
+type Task struct {
+	Problem
+	Measure   string  `json:"measure,omitempty"`   // fairness|uniqueness|robustness
+	Goal      string  `json:"goal,omitempty"`      // minvar|maxpr
+	Algorithm string  `json:"algorithm,omitempty"` // greedy|optimum|best|naive|random
+	Budget    float64 `json:"budget"`
+	Tau       float64 `json:"tau,omitempty"`
+	Seed      uint64  `json:"seed,omitempty"`
+}
+
+// RankRequest is the body of POST /v1/rank.
+type RankRequest struct {
+	Problem
+	Measure string `json:"measure,omitempty"`
+}
+
+// AssessRequest is the body of POST /v1/assess.
+type AssessRequest struct {
+	Problem
+}
+
+// Dataset is the body of POST /v1/datasets: a reusable set of objects.
+type Dataset struct {
+	Name    string   `json:"name,omitempty"`
+	Objects []Object `json:"objects"`
+}
+
+// Result mirrors cleansel.Result on the wire (and on the CLI's stdout).
+type Result struct {
+	Chosen    []string `json:"chosen"`
+	IDs       []int    `json:"ids"`
+	CostSpent float64  `json:"cost_spent"`
+	Before    float64  `json:"objective_before"`
+	After     float64  `json:"objective_after"`
+}
+
+// Benefit mirrors cleansel.ObjectBenefit on the wire.
+type Benefit struct {
+	ID      int     `json:"id"`
+	Name    string  `json:"name"`
+	Benefit float64 `json:"benefit"`
+	Cost    float64 `json:"cost"`
+}
+
+// Report mirrors cleansel.QualityReport on the wire.
+type Report struct {
+	Bias          float64 `json:"bias"`
+	BiasVariance  float64 `json:"bias_variance"`
+	Duplicity     int     `json:"duplicity"`
+	DupVariance   float64 `json:"duplicity_variance"`
+	Fragility     float64 `json:"fragility"`
+	FragVariance  float64 `json:"fragility_variance"`
+	Perturbations int     `json:"perturbations"`
+}
+
+// decodeStrict decodes exactly one JSON value, rejecting unknown fields
+// and trailing garbage.
+func decodeStrict[T any](r io.Reader) (T, error) {
+	var v T
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&v); err != nil {
+		return v, fmt.Errorf("parsing request: %w", err)
+	}
+	if dec.More() {
+		return v, errors.New("parsing request: trailing data after JSON value")
+	}
+	return v, nil
+}
+
+// DecodeTask parses a select task specification.
+func DecodeTask(r io.Reader) (Task, error) { return decodeStrict[Task](r) }
+
+// DecodeRank parses a rank request.
+func DecodeRank(r io.Reader) (RankRequest, error) { return decodeStrict[RankRequest](r) }
+
+// DecodeAssess parses an assess request.
+func DecodeAssess(r io.Reader) (AssessRequest, error) { return decodeStrict[AssessRequest](r) }
+
+// DecodeDataset parses a dataset upload.
+func DecodeDataset(r io.Reader) (Dataset, error) { return decodeStrict[Dataset](r) }
+
+// BuildObjects maps object specifications onto cleansel objects,
+// validating each value model.
+func BuildObjects(specs []Object) ([]cleansel.Object, error) {
+	if len(specs) == 0 {
+		return nil, errors.New("no objects given")
+	}
+	objs := make([]cleansel.Object, len(specs))
+	for i, o := range specs {
+		obj := cleansel.Object{Name: o.Name, Current: o.Current, Cost: o.Cost}
+		switch {
+		case o.Normal != nil && len(o.Values) > 0:
+			return nil, fmt.Errorf("object %q: give values/probs or normal, not both", o.Name)
+		case o.Normal != nil:
+			n, err := cleansel.NewNormal(o.Normal.Mean, o.Normal.Sigma)
+			if err != nil {
+				return nil, fmt.Errorf("object %q: %w", o.Name, err)
+			}
+			obj.Value = n
+		case len(o.Values) > 0:
+			d, err := cleansel.NewDiscrete(o.Values, o.Probs)
+			if err != nil {
+				return nil, fmt.Errorf("object %q: %w", o.Name, err)
+			}
+			obj.Value = d
+		default:
+			return nil, fmt.Errorf("object %q: need values/probs or normal", o.Name)
+		}
+		objs[i] = obj
+	}
+	return objs, nil
+}
+
+// BuildDB assembles and validates a database from object specifications.
+func BuildDB(specs []Object) (*cleansel.DB, error) {
+	objs, err := BuildObjects(specs)
+	if err != nil {
+		return nil, err
+	}
+	db := cleansel.NewDB(objs)
+	if err := db.Validate(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// BuildClaim maps a claim specification onto a cleansel claim; object
+// IDs must parse as integers in [0, n).
+func BuildClaim(spec Claim, n int) (*cleansel.Claim, error) {
+	coef := make(map[int]float64, len(spec.Coef))
+	for key, v := range spec.Coef {
+		id, err := strconv.Atoi(key)
+		if err != nil || id < 0 || id >= n {
+			return nil, fmt.Errorf("claim %q: bad object id %q", spec.Name, key)
+		}
+		coef[id] = v
+	}
+	return cleansel.NewClaim(spec.Name, spec.Const, coef), nil
+}
+
+// BuildSet assembles the perturbation set of a problem against db. A
+// missing reference defaults to the original claim's value at the
+// current data.
+func (p *Problem) BuildSet(db *cleansel.DB) (*cleansel.PerturbationSet, error) {
+	orig, err := BuildClaim(p.Claim, db.N())
+	if err != nil {
+		return nil, err
+	}
+	dir := cleansel.HigherIsStronger
+	switch strings.ToLower(p.Direction) {
+	case "higher", "":
+	case "lower":
+		dir = cleansel.LowerIsStronger
+	default:
+		return nil, fmt.Errorf("unknown direction %q", p.Direction)
+	}
+	ref := orig.Eval(db.Currents())
+	if p.Reference != nil {
+		ref = *p.Reference
+	}
+	perturbs := make([]cleansel.Perturbed, len(p.Perturbations))
+	for i, pt := range p.Perturbations {
+		cl, err := BuildClaim(pt.Claim, db.N())
+		if err != nil {
+			return nil, err
+		}
+		perturbs[i] = cleansel.Perturbed{Claim: cl, Sensibility: pt.Sensibility}
+	}
+	return cleansel.NewPerturbationSet(orig, dir, ref, perturbs)
+}
+
+// discretized applies the problem's custom discretization (if any) for
+// measures that require discrete value models.
+func (p *Problem) discretized(db *cleansel.DB, measure cleansel.Measure) *cleansel.DB {
+	needDiscrete := measure == cleansel.Uniqueness || measure == cleansel.Robustness
+	if needDiscrete && p.Discretize > 0 {
+		return db.Discretized(p.Discretize)
+	}
+	return db
+}
+
+// BuildTask maps the task onto a cleansel.Task against db, parsing the
+// measure/goal/algorithm names and applying any custom discretization.
+func (t *Task) BuildTask(db *cleansel.DB) (cleansel.Task, error) {
+	measure, err := cleansel.ParseMeasure(t.Measure)
+	if err != nil {
+		return cleansel.Task{}, err
+	}
+	goal, err := cleansel.ParseGoal(t.Goal)
+	if err != nil {
+		return cleansel.Task{}, err
+	}
+	algo, err := cleansel.ParseAlgorithm(t.Algorithm)
+	if err != nil {
+		return cleansel.Task{}, err
+	}
+	db = t.discretized(db, measure)
+	set, err := t.BuildSet(db)
+	if err != nil {
+		return cleansel.Task{}, err
+	}
+	return cleansel.Task{
+		DB: db, Claims: set,
+		Measure: measure, Goal: goal, Algorithm: algo,
+		Budget: t.Budget, Tau: t.Tau, Seed: t.Seed,
+	}, nil
+}
+
+// BuildRank resolves the rank request against db, returning the working
+// database, perturbation set, and measure for cleansel.RankObjects.
+func (r *RankRequest) BuildRank(db *cleansel.DB) (*cleansel.DB, *cleansel.PerturbationSet, cleansel.Measure, error) {
+	measure, err := cleansel.ParseMeasure(r.Measure)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	db = r.discretized(db, measure)
+	set, err := r.BuildSet(db)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return db, set, measure, nil
+}
+
+// BuildAssess resolves the assess request against db, returning the
+// working database and perturbation set for cleansel.AssessClaim.
+func (a *AssessRequest) BuildAssess(db *cleansel.DB) (*cleansel.DB, *cleansel.PerturbationSet, error) {
+	if a.Discretize > 0 {
+		db = db.Discretized(a.Discretize)
+	}
+	set, err := a.BuildSet(db)
+	if err != nil {
+		return nil, nil, err
+	}
+	return db, set, nil
+}
+
+// EncodeResult maps a selection result onto the wire.
+func EncodeResult(res cleansel.Result) Result {
+	out := Result{
+		Chosen:    res.Chosen,
+		IDs:       res.Set,
+		CostSpent: res.CostSpent,
+		Before:    res.Before,
+		After:     res.After,
+	}
+	if out.Chosen == nil {
+		out.Chosen = []string{}
+	}
+	if out.IDs == nil {
+		out.IDs = []int{}
+	}
+	return out
+}
+
+// EncodeBenefits maps an object ranking onto the wire.
+func EncodeBenefits(ranked []cleansel.ObjectBenefit) []Benefit {
+	out := make([]Benefit, len(ranked))
+	for i, b := range ranked {
+		out[i] = Benefit{ID: b.ID, Name: b.Name, Benefit: b.Benefit, Cost: b.Cost}
+	}
+	return out
+}
+
+// EncodeReport maps a quality report onto the wire.
+func EncodeReport(rep cleansel.QualityReport) Report {
+	return Report{
+		Bias:          rep.Bias,
+		BiasVariance:  rep.BiasVariance,
+		Duplicity:     rep.Duplicity,
+		DupVariance:   rep.DupVariance,
+		Fragility:     rep.Fragility,
+		FragVariance:  rep.FragVariance,
+		Perturbations: rep.Perturbations,
+	}
+}

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Smoke test for cleanseld: build the daemon, start it on a random port,
+# exercise the dataset + select + cache flow with the quickstart
+# requests, and assert well-formed 200 responses. Used by CI and
+# runnable locally: ./scripts/smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+pid=""
+cleanup() {
+  [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+go build -o "$workdir/cleanseld" ./cmd/cleanseld
+
+"$workdir/cleanseld" -addr 127.0.0.1:0 -addr-file "$workdir/addr" &
+pid=$!
+
+for _ in $(seq 1 50); do
+  [ -s "$workdir/addr" ] && break
+  sleep 0.1
+done
+[ -s "$workdir/addr" ] || { echo "FAIL: daemon never wrote its address"; exit 1; }
+base="http://$(cat "$workdir/addr")"
+
+status=$(curl -s -o "$workdir/health" -w '%{http_code}' "$base/healthz")
+[ "$status" = 200 ] || { echo "FAIL: /healthz -> $status"; exit 1; }
+jq -e '.status == "ok"' "$workdir/health" >/dev/null || { echo "FAIL: bad health body"; cat "$workdir/health"; exit 1; }
+
+# Inline select request must return a well-formed result.
+status=$(curl -s -o "$workdir/select1" -w '%{http_code}' \
+  -X POST --data @examples/quickstart/select.json "$base/v1/select")
+[ "$status" = 200 ] || { echo "FAIL: /v1/select -> $status"; cat "$workdir/select1"; exit 1; }
+jq -e '(.chosen | length) >= 1 and (.ids | length) == (.chosen | length)
+       and .objective_before >= .objective_after and (.cost_spent | type) == "number"' \
+  "$workdir/select1" >/dev/null || { echo "FAIL: malformed select result"; cat "$workdir/select1"; exit 1; }
+
+# Upload the dataset once, select against the returned ID.
+status=$(curl -s -o "$workdir/dataset" -w '%{http_code}' \
+  -X POST --data @examples/quickstart/dataset.json "$base/v1/datasets")
+[ "$status" = 200 ] || { echo "FAIL: /v1/datasets -> $status"; cat "$workdir/dataset"; exit 1; }
+id=$(jq -re '.id' "$workdir/dataset")
+
+jq --arg id "$id" 'del(.objects) + {dataset_id: $id}' examples/quickstart/select.json > "$workdir/byref.json"
+status=$(curl -s -o "$workdir/select2" -w '%{http_code}' \
+  -X POST --data @"$workdir/byref.json" "$base/v1/select")
+[ "$status" = 200 ] || { echo "FAIL: select by dataset_id -> $status"; cat "$workdir/select2"; exit 1; }
+
+# The repeated identical request must be served from the result cache.
+curl -s -D "$workdir/headers" -o "$workdir/select3" \
+  -X POST --data @"$workdir/byref.json" "$base/v1/select"
+grep -qi '^x-cache: hit' "$workdir/headers" || { echo "FAIL: repeat select not a cache hit"; cat "$workdir/headers"; exit 1; }
+diff "$workdir/select2" "$workdir/select3" || { echo "FAIL: cached answer differs"; exit 1; }
+
+kill "$pid"
+wait "$pid" 2>/dev/null || true
+pid=""
+echo "smoke OK: $base served healthz, datasets, select (miss+hit)"
