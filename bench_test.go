@@ -4,8 +4,12 @@
 package cleansel_test
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
+	cleansel "github.com/factcheck/cleansel"
+	"github.com/factcheck/cleansel/internal/claims"
 	"github.com/factcheck/cleansel/internal/core"
 	"github.com/factcheck/cleansel/internal/datasets"
 	"github.com/factcheck/cleansel/internal/ev"
@@ -13,6 +17,7 @@ import (
 	"github.com/factcheck/cleansel/internal/knapsack"
 	"github.com/factcheck/cleansel/internal/maxpr"
 	"github.com/factcheck/cleansel/internal/model"
+	"github.com/factcheck/cleansel/internal/parallel"
 	"github.com/factcheck/cleansel/internal/query"
 	"github.com/factcheck/cleansel/internal/rng"
 )
@@ -237,4 +242,80 @@ func BenchmarkSelectFacade(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- Parallel subsystem -------------------------------------------------------
+
+// benchWorkerCounts runs the benchmark body under CLEANSEL_WORKERS=1
+// and =GOMAXPROCS, the comparison scripts/bench.sh records: the
+// many-worker run must beat workers=1 while producing bit-identical
+// results (pinned by the bit-identity tests, not re-checked here).
+func benchWorkerCounts(b *testing.B, body func(b *testing.B)) {
+	b.Helper()
+	many := runtime.GOMAXPROCS(0)
+	if many == 1 {
+		// Single-CPU machine: no speedup to demonstrate, but still
+		// exercise the pool so its overhead shows in the comparison.
+		many = 2
+	}
+	for _, workers := range []int{1, many} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.Setenv(parallel.EnvWorkers, fmt.Sprint(workers))
+			body(b)
+		})
+	}
+}
+
+// wideUniquenessWorkload builds a uniqueness workload whose claim
+// windows are wide enough (6-point supports, width-6 windows → 6^6
+// enumerations per term) that the per-term passes dominate — the shape
+// the parallel GroupEngine paths target.
+func wideUniquenessWorkload(n int) (*model.DB, *query.GroupSum) {
+	db := datasets.URx(n, 7)
+	const w = 6
+	orig := claims.WindowSum("orig", n-w, w)
+	perturbs := claims.NonOverlappingWindows("w", n, w, n-w, 0.5)
+	set, err := claims.NewSet(orig, claims.LowerIsStronger, 100, perturbs)
+	if err != nil {
+		panic(err)
+	}
+	return db, set.Dup()
+}
+
+// BenchmarkGroupEngineParallel measures the engine-level fan-out: the
+// initial state build plus the bulk singleton-benefit pass (the
+// per-object enumeration of Theorem 3.8).
+func BenchmarkGroupEngineParallel(b *testing.B) {
+	db, g := wideUniquenessWorkload(120)
+	benchWorkerCounts(b, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			engine, err := ev.NewGroupEngine(db, g)
+			if err != nil {
+				b.Fatal(err)
+			}
+			st := engine.NewState()
+			st.SingletonBenefits()
+		}
+	})
+}
+
+// BenchmarkSelectParallel measures the end-to-end public API under the
+// worker pool: a full GreedyMinVar uniqueness solve.
+func BenchmarkSelectParallel(b *testing.B) {
+	db, _ := wideUniquenessWorkload(120)
+	w := expt.SyntheticUniquenessFromDB(db, 100)
+	task := cleansel.Task{
+		DB:      db,
+		Claims:  w.Set,
+		Measure: cleansel.Uniqueness,
+		Goal:    cleansel.MinimizeUncertainty,
+		Budget:  db.Budget(0.25),
+	}
+	benchWorkerCounts(b, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cleansel.Select(task); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

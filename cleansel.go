@@ -1,6 +1,7 @@
 package cleansel
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -366,6 +367,17 @@ type Result struct {
 
 // Select solves the task.
 func Select(task Task) (Result, error) {
+	return SelectContext(context.Background(), task)
+}
+
+// SelectContext solves the task under ctx: when the context is
+// cancelled or times out, the solver stops cooperatively (between
+// benefit evaluations) and returns the context's error. An uncancelled
+// SelectContext returns exactly what Select returns. Solvers fan their
+// per-object enumeration out over a bounded worker pool sized by
+// GOMAXPROCS (override with CLEANSEL_WORKERS); results are
+// bit-identical for every worker count.
+func SelectContext(ctx context.Context, task Task) (Result, error) {
 	if task.DB == nil || task.Claims == nil {
 		return Result{}, errors.New("cleansel: task needs DB and Claims")
 	}
@@ -374,9 +386,9 @@ func Select(task Task) (Result, error) {
 	}
 	switch task.Goal {
 	case MinimizeUncertainty:
-		return selectMinVar(task)
+		return selectMinVar(ctx, task)
 	case MaximizeSurprise:
-		return selectMaxPr(task)
+		return selectMaxPr(ctx, task)
 	}
 	return Result{}, fmt.Errorf("cleansel: unknown goal %d", task.Goal)
 }
@@ -395,7 +407,7 @@ func discreteView(db *DB) *DB {
 	return db
 }
 
-func selectMinVar(task Task) (Result, error) {
+func selectMinVar(ctx context.Context, task Task) (Result, error) {
 	db := task.DB
 	var (
 		sel    core.Selector
@@ -464,14 +476,22 @@ func selectMinVar(task Task) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	T, err := sel.Select(task.Budget)
+	T, err := core.SelectWithContext(ctx, sel, task.Budget)
 	if err != nil {
 		return Result{}, err
 	}
-	return buildResult(db, T, engine.EV(nil), engine.EV(T)), nil
+	before, err := ev.EVWithContext(ctx, engine, nil)
+	if err != nil {
+		return Result{}, err
+	}
+	after, err := ev.EVWithContext(ctx, engine, T)
+	if err != nil {
+		return Result{}, err
+	}
+	return buildResult(db, T, before, after), nil
 }
 
-func selectMaxPr(task Task) (Result, error) {
+func selectMaxPr(ctx context.Context, task Task) (Result, error) {
 	if task.Measure != Fairness {
 		return Result{}, errors.New("cleansel: MaximizeSurprise optimizes the fairness (bias) measure")
 	}
@@ -503,7 +523,7 @@ func selectMaxPr(task Task) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	T, err := sel.Select(task.Budget)
+	T, err := core.SelectWithContext(ctx, sel, task.Budget)
 	if err != nil {
 		return Result{}, err
 	}
@@ -534,6 +554,13 @@ type ObjectBenefit struct {
 // Uniqueness/Robustness they are the group engine's singleton deltas
 // (normal value models are discretized first).
 func RankObjects(db *DB, set *PerturbationSet, measure Measure) ([]ObjectBenefit, error) {
+	return RankObjectsContext(context.Background(), db, set, measure)
+}
+
+// RankObjectsContext is RankObjects under ctx: the group engine's
+// benefit pass runs on the parallel worker pool and stops with the
+// context's error once ctx is done.
+func RankObjectsContext(ctx context.Context, db *DB, set *PerturbationSet, measure Measure) ([]ObjectBenefit, error) {
 	if db == nil || set == nil {
 		return nil, errors.New("cleansel: RankObjects needs db and set")
 	}
@@ -555,7 +582,14 @@ func RankObjects(db *DB, set *PerturbationSet, measure Measure) ([]ObjectBenefit
 		if err != nil {
 			return nil, err
 		}
-		benefits = eng.NewState().SingletonBenefits()
+		st, err := eng.NewStateCtx(ctx)
+		if err != nil {
+			return nil, err
+		}
+		benefits, err = st.SingletonBenefitsCtx(ctx)
+		if err != nil {
+			return nil, err
+		}
 	default:
 		return nil, fmt.Errorf("cleansel: unknown measure %v", measure)
 	}
@@ -606,6 +640,14 @@ type QualityReport struct {
 // independent; discrete value models are required for the uniqueness and
 // robustness variances (normal models are discretized with k=6 first).
 func AssessClaim(db *DB, set *PerturbationSet) (QualityReport, error) {
+	return AssessClaimContext(context.Background(), db, set)
+}
+
+// AssessClaimContext is AssessClaim under ctx: the duplicity and
+// fragility variance solves (the expensive enumerations) run on the
+// parallel worker pool and stop with the context's error once ctx is
+// done.
+func AssessClaimContext(ctx context.Context, db *DB, set *PerturbationSet) (QualityReport, error) {
 	if db == nil || set == nil {
 		return QualityReport{}, errors.New("cleansel: AssessClaim needs db and set")
 	}
@@ -627,13 +669,17 @@ func AssessClaim(db *DB, set *PerturbationSet) (QualityReport, error) {
 	if err != nil {
 		return QualityReport{}, err
 	}
-	rep.DupVariance = dupEng.Variance()
+	if rep.DupVariance, err = dupEng.EVCtx(ctx, nil); err != nil {
+		return QualityReport{}, err
+	}
 	frag := set.Frag()
 	rep.Fragility = frag.Eval(u)
 	fragEng, err := ev.NewGroupEngine(work, frag)
 	if err != nil {
 		return QualityReport{}, err
 	}
-	rep.FragVariance = fragEng.Variance()
+	if rep.FragVariance, err = fragEng.EVCtx(ctx, nil); err != nil {
+		return QualityReport{}, err
+	}
 	return rep, nil
 }

@@ -16,8 +16,12 @@
 //	curl -X POST --data @examples/quickstart/select.json  http://127.0.0.1:8080/v1/select
 //
 // Repeated identical select/rank/assess requests are answered from an
-// LRU result cache (X-Cache: hit). -addr-file writes the bound address
-// (useful with -addr :0) for scripts that need the chosen port.
+// LRU result cache (X-Cache: hit), bounded in entries (-cache) and
+// bytes (-cache-bytes); identical requests arriving while the first
+// still computes join that solve (X-Cache: coalesced), and timed-out
+// solves are cancelled rather than left running. -addr-file writes the
+// bound address (useful with -addr :0) for scripts that need the
+// chosen port.
 package main
 
 import (
@@ -46,9 +50,11 @@ func run(args []string, errw *os.File) int {
 	var (
 		addr        = fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
 		addrFile    = fs.String("addr-file", "", "write the bound address to this file once listening")
-		timeout     = fs.Duration("timeout", 30*time.Second, "per-request compute timeout")
+		timeout     = fs.Duration("timeout", 30*time.Second, "per-request compute timeout (timed-out solves are cancelled)")
 		cacheSize   = fs.Int("cache", 1024, "result cache capacity in entries (negative disables)")
-		maxDatasets = fs.Int("max-datasets", 64, "dataset store capacity")
+		cacheBytes  = fs.Int64("cache-bytes", 0, "result cache capacity in encoded-response bytes (0 = unbounded)")
+		maxDatasets = fs.Int("max-datasets", 64, "dataset store capacity in entries")
+		maxDSBytes  = fs.Int64("max-dataset-bytes", 0, "dataset store capacity in bytes of canonical upload encoding (0 = unbounded)")
 		maxBody     = fs.Int64("max-body", 8<<20, "maximum request body bytes")
 		maxInflight = fs.Int("max-inflight", 0, "concurrent solver cap (0 = GOMAXPROCS)")
 		logJSON     = fs.Bool("log-json", false, "emit JSON logs instead of text")
@@ -73,12 +79,14 @@ func run(args []string, errw *os.File) int {
 	logger := slog.New(handler)
 
 	srv := server.New(server.Config{
-		Logger:       logger,
-		Timeout:      *timeout,
-		CacheSize:    *cacheSize,
-		MaxDatasets:  *maxDatasets,
-		MaxBodyBytes: *maxBody,
-		MaxInflight:  *maxInflight,
+		Logger:          logger,
+		Timeout:         *timeout,
+		CacheSize:       *cacheSize,
+		CacheBytes:      *cacheBytes,
+		MaxDatasets:     *maxDatasets,
+		MaxDatasetBytes: *maxDSBytes,
+		MaxBodyBytes:    *maxBody,
+		MaxInflight:     *maxInflight,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -1,0 +1,154 @@
+package cleansel_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	cleansel "github.com/factcheck/cleansel"
+	"github.com/factcheck/cleansel/internal/parallel"
+)
+
+// slowUniquenessTask builds a deliberately expensive Uniqueness solve:
+// 6-point supports under width-8 claim windows cost 6^8 ≈ 1.7M
+// enumerations per term, and 50 terms keep a sequential solve busy for
+// many seconds — while any single term (the cancellation granularity)
+// stays well under a second.
+func slowUniquenessTask(t *testing.T) cleansel.Task {
+	t.Helper()
+	const n, w = 400, 8
+	objs := make([]cleansel.Object, n)
+	for i := range objs {
+		vals := make([]float64, 6)
+		for j := range vals {
+			vals[j] = float64(10*i + j)
+		}
+		objs[i] = cleansel.Object{
+			Name:    "o",
+			Current: vals[3],
+			Cost:    1,
+			Value:   cleansel.UniformOver(vals),
+		}
+	}
+	db := cleansel.NewDB(objs)
+	orig := cleansel.WindowSum("orig", n-w, w)
+	perturbs := cleansel.NonOverlappingWindows("w", n, w, n-w, 0.5)
+	set, err := cleansel.NewPerturbationSet(orig, cleansel.LowerIsStronger, 100, perturbs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cleansel.Task{
+		DB:      db,
+		Claims:  set,
+		Measure: cleansel.Uniqueness,
+		Goal:    cleansel.MinimizeUncertainty,
+		Budget:  float64(n) / 4,
+	}
+}
+
+// TestSelectContextCancelsPromptly is the acceptance test for
+// end-to-end cancellation: a cancelled context must surface out of a
+// multi-second solve within the per-work-item granularity.
+func TestSelectContextCancelsPromptly(t *testing.T) {
+	task := slowUniquenessTask(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	time.AfterFunc(50*time.Millisecond, cancel)
+	start := time.Now()
+	_, err := cleansel.SelectContext(ctx, task)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("SelectContext returned %v, want context.Canceled", err)
+	}
+	if elapsed > 3*time.Second {
+		t.Fatalf("SelectContext took %v to notice cancellation", elapsed)
+	}
+}
+
+func TestSelectContextPreCancelled(t *testing.T) {
+	task := slowUniquenessTask(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, algo := range []cleansel.Algorithm{cleansel.AlgoGreedy, cleansel.AlgoBest} {
+		task.Algorithm = algo
+		start := time.Now()
+		if _, err := cleansel.SelectContext(ctx, task); !errors.Is(err, context.Canceled) {
+			t.Fatalf("%v: err = %v, want context.Canceled", algo, err)
+		}
+		if elapsed := time.Since(start); elapsed > time.Second {
+			t.Fatalf("%v: pre-cancelled SelectContext still ran for %v", algo, elapsed)
+		}
+	}
+}
+
+// TestRankAndAssessContextCancelled covers the other two context APIs.
+func TestRankAndAssessContextCancelled(t *testing.T) {
+	task := slowUniquenessTask(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := cleansel.RankObjectsContext(ctx, task.DB, task.Claims, cleansel.Uniqueness); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RankObjectsContext: err = %v, want context.Canceled", err)
+	}
+	if _, err := cleansel.AssessClaimContext(ctx, task.DB, task.Claims); !errors.Is(err, context.Canceled) {
+		t.Fatalf("AssessClaimContext: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestSelectBitIdenticalAcrossWorkerCounts pins the public-API
+// determinism contract: CLEANSEL_WORKERS=1 and many-worker runs agree
+// bit for bit on the full Result.
+func TestSelectBitIdenticalAcrossWorkerCounts(t *testing.T) {
+	db := cleansel.URx(48, 7)
+	orig := cleansel.WindowSum("orig", 44, 4)
+	set, err := cleansel.NewPerturbationSet(
+		orig, cleansel.LowerIsStronger, 100,
+		cleansel.NonOverlappingWindows("w", 48, 4, 44, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, measure := range []cleansel.Measure{cleansel.Uniqueness, cleansel.Robustness, cleansel.Fairness} {
+		task := cleansel.Task{
+			DB: db, Claims: set,
+			Measure: measure,
+			Goal:    cleansel.MinimizeUncertainty,
+			Budget:  db.Budget(0.3),
+		}
+		t.Setenv(parallel.EnvWorkers, "1")
+		want, err := cleansel.Select(task)
+		if err != nil {
+			t.Fatalf("%v workers=1: %v", measure, err)
+		}
+		t.Setenv(parallel.EnvWorkers, "8")
+		got, err := cleansel.Select(task)
+		if err != nil {
+			t.Fatalf("%v workers=8: %v", measure, err)
+		}
+		if got.Before != want.Before || got.After != want.After || got.CostSpent != want.CostSpent {
+			t.Fatalf("%v: workers=8 result %+v != workers=1 result %+v", measure, got, want)
+		}
+		if len(got.Set) != len(want.Set) {
+			t.Fatalf("%v: chosen sets differ: %v vs %v", measure, got.Set, want.Set)
+		}
+		for i := range got.Set {
+			if got.Set[i] != want.Set[i] {
+				t.Fatalf("%v: chosen sets differ: %v vs %v", measure, got.Set, want.Set)
+			}
+		}
+		// The ranking path must agree too.
+		t.Setenv(parallel.EnvWorkers, "1")
+		wantRank, err := cleansel.RankObjects(db, set, measure)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Setenv(parallel.EnvWorkers, "8")
+		gotRank, err := cleansel.RankObjects(db, set, measure)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range wantRank {
+			if gotRank[i] != wantRank[i] {
+				t.Fatalf("%v: rank[%d] %+v != %+v", measure, i, gotRank[i], wantRank[i])
+			}
+		}
+	}
+}

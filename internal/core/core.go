@@ -19,6 +19,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -34,6 +35,28 @@ type Selector interface {
 	Name() string
 	// Select returns the chosen subset; its cost never exceeds budget.
 	Select(budget float64) (model.Set, error)
+}
+
+// ContextSelector is a Selector whose solve cooperates with context
+// cancellation: SelectContext returns the context's error promptly
+// (between benefit evaluations) once the context is done. The selected
+// set of an uncancelled SelectContext equals Select's, bit for bit.
+type ContextSelector interface {
+	Selector
+	SelectContext(ctx context.Context, budget float64) (model.Set, error)
+}
+
+// SelectWithContext runs sel under ctx: cancellation-aware selectors
+// solve cooperatively; for plain selectors the context is checked once
+// up front (their solves are the cheap sort-and-fill algorithms).
+func SelectWithContext(ctx context.Context, sel Selector, budget float64) (model.Set, error) {
+	if cs, ok := sel.(ContextSelector); ok {
+		return cs.SelectContext(ctx, budget)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, context.Cause(ctx)
+	}
+	return sel.Select(budget)
 }
 
 // fitsBudget reports whether adding cost c to spent stays within budget,

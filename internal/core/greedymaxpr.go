@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 
 	"github.com/factcheck/cleansel/internal/maxpr"
@@ -34,6 +35,13 @@ func (g *GreedyMaxPr) Name() string { return "GreedyMaxPr" }
 
 // Select implements Selector.
 func (g *GreedyMaxPr) Select(budget float64) (model.Set, error) {
+	return g.SelectContext(context.Background(), budget)
+}
+
+// SelectContext implements ContextSelector, checking the context
+// between Prob evaluations (each one a convolution, a conditional MVN
+// solve, or a Monte-Carlo pass — the expensive unit here).
+func (g *GreedyMaxPr) SelectContext(ctx context.Context, budget float64) (model.Set, error) {
 	if err := validateBudget(budget); err != nil {
 		return nil, err
 	}
@@ -43,6 +51,9 @@ func (g *GreedyMaxPr) Select(budget float64) (model.Set, error) {
 	cur := 0.0 // P(∅) = 0 by definition
 	singles := make([]float64, n)
 	for o := 0; o < n; o++ {
+		if err := ctx.Err(); err != nil {
+			return nil, context.Cause(ctx)
+		}
 		if p := g.eval.Prob(model.NewSet(o)); p > 0 {
 			singles[o] = p
 		}
@@ -52,6 +63,9 @@ func (g *GreedyMaxPr) Select(budget float64) (model.Set, error) {
 		for o := 0; o < n; o++ {
 			if T.Has(o) || !fitsBudget(0, g.db.Objects[o].Cost, remaining) {
 				continue
+			}
+			if err := ctx.Err(); err != nil {
+				return nil, context.Cause(ctx)
 			}
 			p := g.eval.Prob(T.Add(o))
 			delta := p - cur

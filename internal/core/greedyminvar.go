@@ -2,6 +2,7 @@ package core
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 
 	"github.com/factcheck/cleansel/internal/ev"
@@ -98,13 +99,26 @@ func (q *pq) Pop() interface{} {
 
 // Select implements Selector.
 func (g *GreedyMinVarGroup) Select(budget float64) (model.Set, error) {
+	return g.SelectContext(context.Background(), budget)
+}
+
+// SelectContext implements ContextSelector: the initial benefit pass
+// runs on the parallel worker pool and the queue loop checks the
+// context between cleans, so a timed-out solve stops promptly.
+func (g *GreedyMinVarGroup) SelectContext(ctx context.Context, budget float64) (model.Set, error) {
 	if err := validateBudget(budget); err != nil {
 		return nil, err
 	}
-	st := g.engine.NewState()
+	st, err := g.engine.NewStateCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
 	n := g.db.N()
 	version := make([]int, n)
-	singles := st.SingletonBenefits() // also serves the final check
+	singles, err := st.SingletonBenefitsCtx(ctx) // also serves the final check
+	if err != nil {
+		return nil, err
+	}
 	q := make(pq, 0, n)
 	for o := 0; o < n; o++ {
 		if singles[o] <= 0 {
@@ -118,6 +132,9 @@ func (g *GreedyMinVarGroup) Select(budget float64) (model.Set, error) {
 	remaining := budget
 	gainSum := 0.0
 	for q.Len() > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, context.Cause(ctx)
+		}
 		top := heap.Pop(&q).(pqEntry)
 		o := top.obj
 		if st.Cleaned(o) || top.ver != version[o] {
@@ -187,17 +204,31 @@ func (g *GreedyEngine) Name() string { return g.name }
 
 // Select implements Selector.
 func (g *GreedyEngine) Select(budget float64) (model.Set, error) {
+	return g.SelectContext(context.Background(), budget)
+}
+
+// SelectContext implements ContextSelector, checking the context
+// between candidate evaluations (each one is a full EV solve — the
+// expensive unit of this adaptive greedy).
+func (g *GreedyEngine) SelectContext(ctx context.Context, budget float64) (model.Set, error) {
 	if err := validateBudget(budget); err != nil {
 		return nil, err
 	}
 	n := g.db.N()
 	var T model.Set
 	remaining := budget
-	cur := g.engine.EV(nil)
+	cur, err := ev.EVWithContext(ctx, g.engine, nil)
+	if err != nil {
+		return nil, err
+	}
 	gainSum := 0.0
 	singles := make([]float64, n)
 	for o := 0; o < n; o++ {
-		b := cur - g.engine.EV(model.NewSet(o))
+		after, err := ev.EVWithContext(ctx, g.engine, model.NewSet(o))
+		if err != nil {
+			return nil, err
+		}
+		b := cur - after
 		if b < 0 {
 			b = 0
 		}
@@ -209,7 +240,10 @@ func (g *GreedyEngine) Select(budget float64) (model.Set, error) {
 			if T.Has(o) || !fitsBudget(0, g.db.Objects[o].Cost, remaining) {
 				continue
 			}
-			after := g.engine.EV(T.Add(o))
+			after, err := ev.EVWithContext(ctx, g.engine, T.Add(o))
+			if err != nil {
+				return nil, err
+			}
 			b := cur - after
 			if b < 0 {
 				b = 0

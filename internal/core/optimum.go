@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -112,11 +113,40 @@ func (b *Best) Name() string { return "Best" }
 
 // Select implements Selector.
 func (b *Best) Select(budget float64) (model.Set, error) {
+	return b.SelectContext(context.Background(), budget)
+}
+
+// selectAborted carries a cancellation out of the majorize–minimize
+// machinery, which has no error channel of its own: the EV closure
+// panics with it and SelectContext recovers, so a done context
+// surfaces at the next EV evaluation instead of letting MinimizeCover
+// grind through its remaining iterations on a poisoned objective.
+type selectAborted struct{ err error }
+
+// SelectContext implements ContextSelector. The majorize–minimize
+// iterations run through the engine's cancellable EV path, so a done
+// context surfaces at the next EV evaluation.
+func (b *Best) SelectContext(ctx context.Context, budget float64) (T model.Set, retErr error) {
 	if err := validateBudget(budget); err != nil {
 		return nil, err
 	}
+	defer func() {
+		if r := recover(); r != nil {
+			sa, ok := r.(selectAborted)
+			if !ok {
+				panic(r)
+			}
+			T, retErr = nil, sa.err
+		}
+	}()
 	n := b.db.N()
-	evMemo := memoizeSetFunc(func(S model.Set) float64 { return b.engine.EV(S) })
+	evMemo := memoizeSetFunc(func(S model.Set) float64 {
+		v, err := ev.EVWithContext(ctx, b.engine, S)
+		if err != nil {
+			panic(selectAborted{err})
+		}
+		return v
+	})
 	// f̄(K) = EV(O \ K) over keep-dirty sets K; constraint c(K) ≥ C̄.
 	fbar := submod.Func{
 		N:    n,
@@ -131,7 +161,7 @@ func (b *Best) Select(budget float64) (model.Set, error) {
 	if err != nil {
 		return nil, err
 	}
-	T := K.Complement(n)
+	T = K.Complement(n)
 	// Discretized min-knapsack can keep slightly too little; repair by
 	// dropping the cheapest-benefit cleaned objects until feasible.
 	for T.Cost(b.db) > budget+1e-9 && len(T) > 0 {

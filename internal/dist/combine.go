@@ -54,6 +54,14 @@ func Mixture(dists []*Discrete, weights []float64) (*Discrete, error) {
 // the number of distinct outcomes rather than the raw product. Callers
 // bound the product of support sizes beforehand; see
 // maxpr.DiscreteAffine.
+//
+// The quantization grid is only exact while every reachable sum stays
+// inside ±numeric.QuantizeMaxAbs (≈1e8): beyond that the float64
+// spacing overtakes the 1e-9 resolution and distinct outcomes can
+// silently merge. WeightedSum bounds the reachable magnitude up front
+// (|offset| + Σ|wᵢ|·max|Xᵢ|) and returns a descriptive error instead
+// of a degraded law when the bound is exceeded — rescale the claim or
+// the data (the law of c·D determines the law of D exactly).
 func WeightedSum(offset float64, weights []float64, parts []*Discrete) (*Discrete, error) {
 	if len(weights) != len(parts) {
 		return nil, fmt.Errorf("dist: %d weights vs %d parts", len(weights), len(parts))
@@ -61,6 +69,7 @@ func WeightedSum(offset float64, weights []float64, parts []*Discrete) (*Discret
 	if math.IsNaN(offset) || math.IsInf(offset, 0) {
 		return nil, fmt.Errorf("dist: offset %v must be finite", offset)
 	}
+	reach := math.Abs(offset)
 	for i, w := range weights {
 		if parts[i] == nil {
 			return nil, fmt.Errorf("dist: part %d is nil", i)
@@ -68,6 +77,18 @@ func WeightedSum(offset float64, weights []float64, parts []*Discrete) (*Discret
 		if math.IsNaN(w) || math.IsInf(w, 0) {
 			return nil, fmt.Errorf("dist: weight %d is %v", i, w)
 		}
+		var maxAbs float64
+		for _, v := range parts[i].Values {
+			if a := math.Abs(v); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		reach += math.Abs(w) * maxAbs
+	}
+	if reach > numeric.QuantizeMaxAbs {
+		return nil, fmt.Errorf(
+			"dist: WeightedSum reachable magnitude %.3g exceeds the quantization grid's exact range ±%g; rescale the weights or supports (e.g. convolve c·X for small c) to stay within it",
+			reach, float64(numeric.QuantizeMaxAbs))
 	}
 	// vals keeps the first exact sum seen for each quantized key so the
 	// grid never perturbs a support value by more than one round-off.

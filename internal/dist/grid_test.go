@@ -1,0 +1,76 @@
+package dist
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/factcheck/cleansel/internal/numeric"
+)
+
+// TestWeightedSumGuardsQuantizationGrid pins the grid-overflow guard:
+// supports whose reachable sums exceed ±numeric.QuantizeMaxAbs must be
+// rejected with a descriptive error instead of silently aliasing keys.
+func TestWeightedSumGuardsQuantizationGrid(t *testing.T) {
+	big := UniformOver([]float64{0, 9e9})
+	_, err := WeightedSum(0, []float64{1}, []*Discrete{big})
+	if err == nil {
+		t.Fatal("magnitude 9e9 accepted")
+	}
+	if !strings.Contains(err.Error(), "quantization grid") {
+		t.Fatalf("error is not descriptive: %v", err)
+	}
+
+	// The bound is on the reachable sum, not individual supports: many
+	// moderate parts can overflow together…
+	parts := make([]*Discrete, 20)
+	weights := make([]float64, 20)
+	for i := range parts {
+		parts[i] = UniformOver([]float64{0, 9e6})
+		weights[i] = 1000
+	}
+	if _, err := WeightedSum(0, weights, parts); err == nil {
+		t.Fatal("aggregate overflow accepted")
+	}
+	// …and the offset counts too.
+	small := UniformOver([]float64{0, 1})
+	if _, err := WeightedSum(1.5e8, []float64{1}, []*Discrete{small}); err == nil {
+		t.Fatal("offset overflow accepted")
+	}
+
+	// Zero-weight parts do not contribute reach: a huge support with
+	// weight 0 stays legal.
+	if _, err := WeightedSum(0, []float64{0, 1}, []*Discrete{big, small}); err != nil {
+		t.Fatalf("zero-weight part rejected: %v", err)
+	}
+
+	// In-range convolution is untouched.
+	d, err := WeightedSum(2, []float64{1, -1}, []*Discrete{
+		UniformOver([]float64{1e7, 2e7}),
+		UniformOver([]float64{0, 5e6}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Size() != 4 {
+		t.Fatalf("support size %d, want 4", d.Size())
+	}
+}
+
+// TestWeightedSumBoundaryStillWorks checks magnitudes just inside the
+// ceiling convolve fine.
+func TestWeightedSumBoundaryStillWorks(t *testing.T) {
+	nearMax := 0.49 * numeric.QuantizeMaxAbs
+	d, err := WeightedSum(0, []float64{1, 1}, []*Discrete{
+		UniformOver([]float64{0, nearMax}),
+		UniformOver([]float64{0, nearMax}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Size() != 3 { // 0, nearMax, 2*nearMax (two paths merge at nearMax)
+		t.Fatalf("support size %d, want 3", d.Size())
+	}
+	if got := d.Prob(nearMax); got != 0.5 {
+		t.Fatalf("merged atom mass %v, want 0.5", got)
+	}
+}

@@ -19,6 +19,7 @@
 package ev
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -32,6 +33,27 @@ import (
 type Engine interface {
 	// EV returns the expected posterior variance after cleaning T.
 	EV(T model.Set) float64
+}
+
+// CtxEngine is an Engine whose evaluation cooperates with context
+// cancellation (GroupEngine, MonteCarlo, ShardedMonteCarlo).
+type CtxEngine interface {
+	Engine
+	// EVCtx is EV returning the context's error once ctx is done.
+	EVCtx(ctx context.Context, T model.Set) (float64, error)
+}
+
+// EVWithContext evaluates e.EV(T) under ctx: cancellation-aware
+// engines evaluate cooperatively; for plain engines (whose solves are
+// closed-form) the context is checked once up front.
+func EVWithContext(ctx context.Context, e Engine, T model.Set) (float64, error) {
+	if ce, ok := e.(CtxEngine); ok {
+		return ce.EVCtx(ctx, T)
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, context.Cause(ctx)
+	}
+	return e.EV(T), nil
 }
 
 // enumerate iterates the product distribution of the given vars, assigning

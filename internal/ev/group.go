@@ -1,13 +1,16 @@
 package ev
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"github.com/factcheck/cleansel/internal/dist"
 	"github.com/factcheck/cleansel/internal/model"
 	"github.com/factcheck/cleansel/internal/numeric"
+	"github.com/factcheck/cleansel/internal/parallel"
 	"github.com/factcheck/cleansel/internal/query"
 )
 
@@ -38,6 +41,11 @@ type GroupEngine struct {
 	// depends on which of ITS OWN variables are cleaned, so it is cached
 	// by that local bitmask. Selectors that evaluate EV on many related
 	// subsets (Best, OPT, the adaptive greedy) hit these caches heavily.
+	// mu guards both caches: EV may be called from concurrent sweep
+	// points, and cache misses are computed on the parallel worker pool.
+	// Cached values are exact, so which goroutine fills an entry first
+	// never changes a result.
+	mu        sync.Mutex
 	termCache []map[uint64]float64
 	pairCache []map[uint64]float64
 }
@@ -258,55 +266,178 @@ func (e *GroupEngine) pairEV(dists []*dist.Discrete, pi int, cleaned []bool, x, 
 	return acc.Value()
 }
 
+// evScratch is the per-worker workspace of the parallel enumeration
+// paths: an assignment vector, a support-index vector, and the term
+// evaluation buffer. Work items fully overwrite the slots they read,
+// so reusing a workspace across items never changes a result.
+type evScratch struct {
+	x   []float64
+	idx []int
+	buf []float64
+}
+
+// scratchPool lazily allocates one workspace per parallel worker. The
+// pool is sized for the worker count at creation; each slot is owned
+// by exactly one worker goroutine at a time.
+type scratchPool struct {
+	n int
+	s []*evScratch
+}
+
+func newScratchPool(n int) *scratchPool {
+	return &scratchPool{n: n, s: make([]*evScratch, parallel.Workers())}
+}
+
+func (p *scratchPool) get(worker int) *evScratch {
+	if p.s[worker] == nil {
+		p.s[worker] = &evScratch{
+			x:   make([]float64, p.n),
+			idx: make([]int, p.n),
+			buf: make([]float64, 0, 32),
+		}
+	}
+	return p.s[worker]
+}
+
+// evMiss is one uncached term/pair contribution to an EV call.
+type evMiss struct {
+	i         int // term or pair index
+	mask      uint64
+	cacheable bool
+}
+
+// termValues returns every term's contribution for the cleaned mask,
+// serving hits from the cache and computing misses on the worker pool.
+func (e *GroupEngine) termValues(ctx context.Context, cleaned []bool) ([]float64, error) {
+	vals := make([]float64, len(e.terms))
+	var misses []evMiss
+	e.mu.Lock()
+	for k := range e.terms {
+		mask, ok := localMask(e.terms[k].vars, cleaned)
+		if ok {
+			if v, hit := e.termCache[k][mask]; hit {
+				vals[k] = v
+				continue
+			}
+			misses = append(misses, evMiss{i: k, mask: mask, cacheable: true})
+			continue
+		}
+		misses = append(misses, evMiss{i: k})
+	}
+	e.mu.Unlock()
+	if len(misses) == 0 {
+		return vals, nil
+	}
+	pool := newScratchPool(e.db.N())
+	if err := parallel.For(ctx, len(misses), func(worker, i int) error {
+		sc := pool.get(worker)
+		m := misses[i]
+		vals[m.i] = e.termEV(e.dists, m.i, cleaned, sc.x, sc.buf)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	for _, m := range misses {
+		if !m.cacheable {
+			continue
+		}
+		if e.termCache[m.i] == nil {
+			e.termCache[m.i] = make(map[uint64]float64)
+		}
+		e.termCache[m.i][m.mask] = vals[m.i]
+	}
+	e.mu.Unlock()
+	return vals, nil
+}
+
+// pairValues is termValues for the overlapping-pair covariances.
+func (e *GroupEngine) pairValues(ctx context.Context, cleaned []bool) ([]float64, error) {
+	vals := make([]float64, len(e.pairs))
+	var misses []evMiss
+	e.mu.Lock()
+	for pi := range e.pairs {
+		mask, ok := localMask(e.pairs[pi].union, cleaned)
+		if ok {
+			if v, hit := e.pairCache[pi][mask]; hit {
+				vals[pi] = v
+				continue
+			}
+			misses = append(misses, evMiss{i: pi, mask: mask, cacheable: true})
+			continue
+		}
+		misses = append(misses, evMiss{i: pi})
+	}
+	e.mu.Unlock()
+	if len(misses) == 0 {
+		return vals, nil
+	}
+	pool := newScratchPool(e.db.N())
+	if err := parallel.For(ctx, len(misses), func(worker, i int) error {
+		sc := pool.get(worker)
+		m := misses[i]
+		vals[m.i] = e.pairEV(e.dists, m.i, cleaned, sc.x, sc.buf)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	for _, m := range misses {
+		if !m.cacheable {
+			continue
+		}
+		if e.pairCache[m.i] == nil {
+			e.pairCache[m.i] = make(map[uint64]float64)
+		}
+		e.pairCache[m.i][m.mask] = vals[m.i]
+	}
+	e.mu.Unlock()
+	return vals, nil
+}
+
 // EV computes the objective from scratch for the subset T, memoizing each
 // term's contribution by the cleaned-mask restricted to its variables.
+// Safe for concurrent use; uncached contributions are computed on the
+// parallel worker pool.
 func (e *GroupEngine) EV(T model.Set) float64 {
+	v, err := e.EVCtx(context.Background(), T)
+	if err != nil {
+		// Background is never cancelled and no other error exists on
+		// this path; keep the legacy no-error signature honest.
+		panic(err)
+	}
+	return v
+}
+
+// EVCtx is EV with cooperative cancellation: it returns the context's
+// error as soon as the current term/pair contribution finishes. The
+// summation order is fixed (terms ascending, then pairs ascending), so
+// the value is bit-identical for every worker count.
+func (e *GroupEngine) EVCtx(ctx context.Context, T model.Set) (float64, error) {
 	cleaned := make([]bool, e.db.N())
 	for _, i := range T {
 		cleaned[i] = true
 	}
-	x := make([]float64, e.db.N())
-	buf := make([]float64, 0, 32)
-	var acc numeric.KahanAcc
-	for k := range e.terms {
-		mask, ok := localMask(e.terms[k].vars, cleaned)
-		if ok {
-			if e.termCache[k] == nil {
-				e.termCache[k] = make(map[uint64]float64)
-			}
-			if v, hit := e.termCache[k][mask]; hit {
-				acc.Add(v)
-				continue
-			}
-			v := e.termEV(e.dists, k, cleaned, x, buf)
-			e.termCache[k][mask] = v
-			acc.Add(v)
-			continue
-		}
-		acc.Add(e.termEV(e.dists, k, cleaned, x, buf))
+	termVals, err := e.termValues(ctx, cleaned)
+	if err != nil {
+		return 0, err
 	}
-	for pi := range e.pairs {
-		mask, ok := localMask(e.pairs[pi].union, cleaned)
-		if ok {
-			if e.pairCache[pi] == nil {
-				e.pairCache[pi] = make(map[uint64]float64)
-			}
-			if v, hit := e.pairCache[pi][mask]; hit {
-				acc.Add(2 * v)
-				continue
-			}
-			v := e.pairEV(e.dists, pi, cleaned, x, buf)
-			e.pairCache[pi][mask] = v
-			acc.Add(2 * v)
-			continue
-		}
-		acc.Add(2 * e.pairEV(e.dists, pi, cleaned, x, buf))
+	pairVals, err := e.pairValues(ctx, cleaned)
+	if err != nil {
+		return 0, err
+	}
+	var acc numeric.KahanAcc
+	for _, v := range termVals {
+		acc.Add(v)
+	}
+	for _, v := range pairVals {
+		acc.Add(2 * v)
 	}
 	v := acc.Value()
 	if v < 0 {
 		v = 0
 	}
-	return v
+	return v, nil
 }
 
 // Variance returns EV(∅) = Var[f(X)].
@@ -364,25 +495,49 @@ type State struct {
 
 // NewState returns the incremental state at T = ∅.
 func (e *GroupEngine) NewState() *State {
+	s, err := e.NewStateCtx(context.Background())
+	if err != nil {
+		panic(err) // Background is never cancelled; no other error exists
+	}
+	return s
+}
+
+// NewStateCtx builds the incremental state at T = ∅, computing the
+// initial per-term variances and per-pair covariances on the parallel
+// worker pool. The reduction runs in index order, so the state is
+// bit-identical for every worker count.
+func (e *GroupEngine) NewStateCtx(ctx context.Context) (*State, error) {
 	s := &State{
 		e:       e,
 		cleaned: make([]bool, e.db.N()),
-		termEV:  make([]float64, len(e.terms)),
-		pairEV:  make([]float64, len(e.pairs)),
 		x:       make([]float64, e.db.N()),
 		buf:     make([]float64, 0, 32),
 	}
+	pool := newScratchPool(e.db.N())
+	termEV, err := parallel.Map(ctx, len(e.terms), func(worker, k int) (float64, error) {
+		sc := pool.get(worker)
+		return e.termEV(e.dists, k, s.cleaned, sc.x, sc.buf), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	pairEV, err := parallel.Map(ctx, len(e.pairs), func(worker, pi int) (float64, error) {
+		sc := pool.get(worker)
+		return e.pairEV(e.dists, pi, s.cleaned, sc.x, sc.buf), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.termEV, s.pairEV = termEV, pairEV
 	var acc numeric.KahanAcc
-	for k := range e.terms {
-		s.termEV[k] = e.termEV(e.dists, k, s.cleaned, s.x, s.buf)
+	for k := range s.termEV {
 		acc.Add(s.termEV[k])
 	}
-	for pi := range e.pairs {
-		s.pairEV[pi] = e.pairEV(e.dists, pi, s.cleaned, s.x, s.buf)
+	for pi := range s.pairEV {
 		acc.Add(2 * s.pairEV[pi])
 	}
 	s.total = acc.Value()
-	return s
+	return s, nil
 }
 
 // EV returns the current objective value EV(T).
@@ -469,16 +624,38 @@ func enumerateIdx(dists []*dist.Discrete, vars []int, x []float64, idx []int, vi
 // a factor-W speedup over calling Delta per object and the reason large
 // Figure-10 instances initialize in seconds.
 func (s *State) SingletonBenefits() []float64 {
+	b, err := s.SingletonBenefitsCtx(context.Background())
+	if err != nil {
+		panic(err) // Background is never cancelled; no other error exists
+	}
+	return b
+}
+
+// termContrib is one term's benefit contribution: deltas[j] is the
+// expected-variance drop cleaning vars[j] would cause in this term.
+type termContrib struct {
+	vars   []int
+	deltas []float64
+}
+
+// SingletonBenefitsCtx is SingletonBenefits with the per-term passes
+// fanned out over the parallel worker pool and cooperative
+// cancellation between work items. Contributions are reduced in term
+// order (and within a term in declaration order), exactly as the
+// sequential loop accumulates them, so the result is bit-identical
+// for every worker count.
+func (s *State) SingletonBenefitsCtx(ctx context.Context) ([]float64, error) {
 	e := s.e
 	n := e.db.N()
 	benefits := make([]float64, n)
-	idx := make([]int, n)
+	pool := newScratchPool(n)
 	// Term contributions, one pass per term.
-	for k := range e.terms {
+	contribs, err := parallel.Map(ctx, len(e.terms), func(worker, k int) (termContrib, error) {
 		a, b := split(e.terms[k].vars, s.cleaned)
 		if len(b) == 0 {
-			continue // fully cleaned term: no one can improve it
+			return termContrib{}, nil // fully cleaned term: no one can improve it
 		}
+		sc := pool.get(worker)
 		// evAfter[v] accumulates Σ_a p_a Σ_val p_val·Var[g | a, X_v=val].
 		evAfter := map[int]*numeric.KahanAcc{}
 		for _, v := range b {
@@ -490,17 +667,17 @@ func (s *State) SingletonBenefits() []float64 {
 			m1[v] = make([]float64, e.dists[v].Size())
 			m2[v] = make([]float64, e.dists[v].Size())
 		}
-		enumerate(e.dists, a, s.x, func(pa float64) {
+		enumerate(e.dists, a, sc.x, func(pa float64) {
 			for _, v := range b {
 				for j := range m1[v] {
 					m1[v][j] = 0
 					m2[v][j] = 0
 				}
 			}
-			enumerateIdx(e.dists, b, s.x, idx, func(pb float64) {
-				g := e.evalTerm(k, s.x, s.buf)
+			enumerateIdx(e.dists, b, sc.x, sc.idx, func(pb float64) {
+				g := e.evalTerm(k, sc.x, sc.buf)
 				for _, v := range b {
-					j := idx[v]
+					j := sc.idx[v]
 					m1[v][j] += pb * g
 					m2[v][j] += pb * g * g
 				}
@@ -520,17 +697,32 @@ func (s *State) SingletonBenefits() []float64 {
 				}
 			}
 		})
-		for _, v := range b {
-			benefits[v] += s.termEV[k] - evAfter[v].Value()
+		deltas := make([]float64, len(b))
+		for j, v := range b {
+			deltas[j] = s.termEV[k] - evAfter[v].Value()
+		}
+		return termContrib{vars: b, deltas: deltas}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range contribs {
+		for j, v := range c.vars {
+			benefits[v] += c.deltas[j]
 		}
 	}
-	// Pair contributions: recompute per object, but only objects in pairs.
+	// Pair contributions: recompute per object, but only objects in
+	// pairs. This pass flips s.cleaned in place, so it stays sequential
+	// (pair structure is sparse; the term passes above dominate).
 	if len(e.pairs) > 0 {
 		seen := map[int]bool{}
 		for _, p := range e.pairs {
 			for _, v := range p.union {
 				if seen[v] || s.cleaned[v] {
 					continue
+				}
+				if err := ctx.Err(); err != nil {
+					return nil, context.Cause(ctx)
 				}
 				seen[v] = true
 				s.cleaned[v] = true
@@ -547,7 +739,7 @@ func (s *State) SingletonBenefits() []float64 {
 			benefits[i] = 0
 		}
 	}
-	return benefits
+	return benefits, nil
 }
 
 // Affected returns the object IDs (other than o itself) whose Delta may

@@ -1,0 +1,194 @@
+package ev
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"github.com/factcheck/cleansel/internal/model"
+	"github.com/factcheck/cleansel/internal/numeric"
+	"github.com/factcheck/cleansel/internal/parallel"
+	"github.com/factcheck/cleansel/internal/rng"
+)
+
+// TestGroupEngineBitIdenticalAcrossWorkerCounts pins the determinism
+// contract of the parallel subsystem at the engine level: EV, the
+// initial state, and the singleton benefits must be bit-for-bit equal
+// for every CLEANSEL_WORKERS setting, with workers=1 reproducing the
+// sequential arithmetic exactly.
+func TestGroupEngineBitIdenticalAcrossWorkerCounts(t *testing.T) {
+	type snapshot struct {
+		total    float64
+		benefits []float64
+		evs      []float64
+	}
+	run := func(workers string) []snapshot {
+		t.Setenv(parallel.EnvWorkers, workers)
+		rr := rng.New(99)
+		var out []snapshot
+		for trial := 0; trial < 6; trial++ {
+			n := 4 + rr.Intn(5)
+			db := randomDB(rr, n)
+			g := randomGroupSum(rr, n)
+			ge := mustGroup(t, db, g)
+			st := ge.NewState()
+			var snap snapshot
+			snap.total = st.EV()
+			snap.benefits = st.SingletonBenefits()
+			for o := 0; o < n; o++ {
+				snap.evs = append(snap.evs, ge.EV(model.NewSet(o)))
+			}
+			snap.evs = append(snap.evs, ge.EV(model.NewSet(0, n-1)))
+			out = append(out, snap)
+		}
+		return out
+	}
+	want := run("1")
+	for _, workers := range []string{"2", "8"} {
+		got := run(workers)
+		for i := range want {
+			if got[i].total != want[i].total {
+				t.Fatalf("workers=%s trial %d: total %v != %v", workers, i, got[i].total, want[i].total)
+			}
+			for j := range want[i].benefits {
+				if got[i].benefits[j] != want[i].benefits[j] {
+					t.Fatalf("workers=%s trial %d: benefit[%d] %v != %v",
+						workers, i, j, got[i].benefits[j], want[i].benefits[j])
+				}
+			}
+			for j := range want[i].evs {
+				if got[i].evs[j] != want[i].evs[j] {
+					t.Fatalf("workers=%s trial %d: ev[%d] %v != %v",
+						workers, i, j, got[i].evs[j], want[i].evs[j])
+				}
+			}
+		}
+	}
+}
+
+// TestGroupEngineConcurrentEV hammers one engine's EV from many
+// goroutines (exercising the cache mutex under -race) and checks every
+// answer against a sequentially computed reference.
+func TestGroupEngineConcurrentEV(t *testing.T) {
+	r := rng.New(7)
+	db := randomDB(r, 8)
+	g := randomGroupSum(r, 8)
+	ref := mustGroup(t, db, g)
+	sets := make([]model.Set, 0, 30)
+	want := make([]float64, 0, 30)
+	for o := 0; o < db.N(); o++ {
+		sets = append(sets, model.NewSet(o))
+	}
+	for i := 0; i < 10; i++ {
+		sets = append(sets, model.NewSet(r.Intn(db.N()), r.Intn(db.N())))
+	}
+	for _, T := range sets {
+		want = append(want, ref.EV(T))
+	}
+	eng := mustGroup(t, db, g)
+	var wg sync.WaitGroup
+	errs := make([]error, len(sets))
+	for rep := 0; rep < 4; rep++ {
+		for i := range sets {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				if got := eng.EV(sets[i]); got != want[i] {
+					t.Errorf("concurrent EV(%v) = %v, want %v", sets[i], got, want[i])
+				}
+			}(i)
+		}
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestGroupEngineEVCtxCancelled(t *testing.T) {
+	r := rng.New(11)
+	db := randomDB(r, 5)
+	eng := mustGroup(t, db, randomGroupSum(r, 5))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.EVCtx(ctx, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("EVCtx on cancelled ctx: err = %v", err)
+	}
+	if _, err := eng.NewStateCtx(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("NewStateCtx on cancelled ctx: err = %v", err)
+	}
+	st := eng.NewState()
+	if _, err := st.SingletonBenefitsCtx(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SingletonBenefitsCtx on cancelled ctx: err = %v", err)
+	}
+}
+
+func TestShardedMonteCarloBitIdenticalAcrossWorkerCounts(t *testing.T) {
+	r := rng.New(5)
+	db := randomDB(r, 6)
+	g := randomGroupSum(r, 6)
+	T := model.NewSet(0, 3)
+	run := func(workers string) float64 {
+		t.Setenv(parallel.EnvWorkers, workers)
+		mc, err := NewShardedMonteCarlo(db, g, 400, 30, 77)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mc.EV(T)
+	}
+	want := run("1")
+	for _, workers := range []string{"2", "8"} {
+		if got := run(workers); got != want {
+			t.Fatalf("workers=%s: EV = %v, want %v (bit-identity broken)", workers, got, want)
+		}
+	}
+}
+
+func TestShardedMonteCarloApproximatesExact(t *testing.T) {
+	r := rng.New(13)
+	db := randomDB(r, 5)
+	g := randomGroupSum(r, 5)
+	exact := mustGroup(t, db, g)
+	mc, err := NewShardedMonteCarlo(db, g, 2000, 60, 2024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, T := range []model.Set{nil, model.NewSet(0), model.NewSet(1, 3)} {
+		want := exact.EV(T)
+		got := mc.EV(T)
+		tol := 0.15 * (1 + want)
+		if !numeric.AlmostEqual(got, want, tol) {
+			t.Fatalf("EV(%v) = %v, exact %v", T, got, want)
+		}
+	}
+}
+
+func TestShardedMonteCarloValidation(t *testing.T) {
+	r := rng.New(1)
+	db := randomDB(r, 4)
+	g := randomGroupSum(r, 4)
+	if _, err := NewShardedMonteCarlo(db, g, 0, 10, 1); err == nil {
+		t.Fatal("outer=0 accepted")
+	}
+	if _, err := NewShardedMonteCarlo(db, g, 10, 1, 1); err == nil {
+		t.Fatal("inner=1 accepted")
+	}
+}
+
+func TestMonteCarloEVCtxCancelled(t *testing.T) {
+	r := rng.New(3)
+	db := randomDB(r, 4)
+	g := randomGroupSum(r, 4)
+	mc, err := NewMonteCarlo(db, g, 100, 10, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := mc.EVCtx(ctx, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("EVCtx on cancelled ctx: err = %v", err)
+	}
+}

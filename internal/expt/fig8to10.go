@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -10,6 +11,7 @@ import (
 	"github.com/factcheck/cleansel/internal/datasets"
 	"github.com/factcheck/cleansel/internal/ev"
 	"github.com/factcheck/cleansel/internal/model"
+	"github.com/factcheck/cleansel/internal/parallel"
 	"github.com/factcheck/cleansel/internal/query"
 	"github.com/factcheck/cleansel/internal/rng"
 )
@@ -63,20 +65,28 @@ func inActionFigures(idMean, idStd, title string, w Workload, scale Scale, seed 
 		return nil, err
 	}
 	for _, sel := range []core.Selector{naive, gmv, best} {
-		sm := Series{Name: sel.Name()}
-		ss := Series{Name: sel.Name()}
-		for _, frac := range fracs {
+		sm := Series{Name: sel.Name(), Points: make([]Point, len(fracs))}
+		ss := Series{Name: sel.Name(), Points: make([]Point, len(fracs))}
+		// Each budget point is an independent solve-then-condition run;
+		// fan them out over the worker pool (CondMoments allocates its
+		// own scratch, and the selectors are safe for concurrent Select).
+		err := parallel.For(context.Background(), len(fracs), func(_, i int) error {
+			frac := fracs[i]
 			T, err := sel.Select(w.DB.Budget(frac))
 			if err != nil {
-				return nil, err
+				return err
 			}
 			known := make([]bool, w.DB.N())
 			for _, o := range T {
 				known[o] = true
 			}
 			mean, variance := engine.CondMoments(truth, known)
-			sm.Points = append(sm.Points, Point{X: frac, Y: mean})
-			ss.Points = append(ss.Points, Point{X: frac, Y: math.Sqrt(variance)})
+			sm.Points[i] = Point{X: frac, Y: mean}
+			ss.Points[i] = Point{X: frac, Y: math.Sqrt(variance)}
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		figMean.Series = append(figMean.Series, sm)
 		figStd.Series = append(figStd.Series, ss)

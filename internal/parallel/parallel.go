@@ -1,0 +1,208 @@
+// Package parallel is the library's deterministic parallel-execution
+// substrate: a bounded worker pool that shards index ranges across
+// goroutines with cooperative context cancellation.
+//
+// Every fan-out in this repository — the per-object enumeration of
+// ev.GroupEngine, the budget sweeps of internal/expt, the server's
+// request solving — funnels through For/Map here, so one invariant is
+// enforced in one place: the observable output of a parallel loop is
+// bit-identical for every worker count, including 1. Two rules make
+// that hold:
+//
+//  1. Work item i may depend only on i (plus read-only shared state and
+//     a per-worker scratch area that it fully overwrites before
+//     reading). Which worker runs which item is scheduling-dependent
+//     and must not matter.
+//  2. Randomized items never share a generator. Streams derives one
+//     independent rng.RNG per item up front (via rng.Split, which is
+//     deterministic in the parent seed), so sampling is reproducible
+//     no matter which worker draws first.
+//
+// Results are written into index-addressed slots and reduced in index
+// order by the caller, so floating-point accumulation order is fixed.
+// The worker count comes from GOMAXPROCS, overridable with the
+// CLEANSEL_WORKERS environment variable; CLEANSEL_WORKERS=1 reproduces
+// the single-threaded execution exactly. Extra workers are drawn from
+// one process-wide budget, so nested fan-outs (sweep → solver →
+// engine) degrade to inline execution instead of multiplying
+// goroutines level by level.
+package parallel
+
+import (
+	"context"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"github.com/factcheck/cleansel/internal/rng"
+)
+
+// EnvWorkers is the environment variable that overrides the worker
+// count (0 or unset means GOMAXPROCS; values are clamped to ≥ 1).
+const EnvWorkers = "CLEANSEL_WORKERS"
+
+// Workers returns the worker count used by For and Map: the
+// CLEANSEL_WORKERS environment variable when set to a positive
+// integer, otherwise GOMAXPROCS. It is consulted on every call, so
+// tests can flip the variable between runs.
+func Workers() int {
+	if s := os.Getenv(EnvWorkers); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// active counts extra worker goroutines currently spawned by For
+// across the whole process. Nested fan-outs (a budget sweep whose
+// points run solves whose engines fan out again) claim from one shared
+// budget of Workers()−1 extras, so the total stays ~Workers() runnable
+// goroutines instead of multiplying at every level; inner loops that
+// find the budget exhausted simply run inline on their caller.
+var active atomic.Int64
+
+// claimExtra reserves up to want extra worker slots from the global
+// budget; the calling goroutine itself needs no slot.
+func claimExtra(want int) int {
+	limit := int64(Workers()) - 1
+	claimed := 0
+	for claimed < want {
+		cur := active.Load()
+		if cur >= limit {
+			break
+		}
+		if active.CompareAndSwap(cur, cur+1) {
+			claimed++
+		}
+	}
+	return claimed
+}
+
+// For runs fn(worker, i) for every i in [0, n), sharding the items
+// across up to Workers() goroutines (the caller participates as
+// worker 0). worker identifies the executing worker so callers can
+// reuse per-worker scratch buffers; item i must not otherwise depend
+// on the worker it lands on.
+//
+// Items are handed out dynamically (an atomic counter), so the load
+// balances even when item costs are skewed, and extra workers come
+// from a process-wide budget so nested For calls do not multiply
+// goroutines. Cancellation is checked between items: when ctx is
+// done, remaining items are skipped and For returns the context's
+// cause. When one or more fn calls fail, the error of the smallest
+// item index is returned — deterministic regardless of scheduling.
+func For(ctx context.Context, n int, fn func(worker, i int) error) error {
+	if n <= 0 {
+		if ctx.Err() != nil {
+			return context.Cause(ctx)
+		}
+		return nil
+	}
+	workers := Workers()
+	if workers > n {
+		workers = n
+	}
+	extra := 0
+	if workers > 1 {
+		extra = claimExtra(workers - 1)
+	}
+	if extra == 0 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return context.Cause(ctx)
+			}
+			if err := fn(0, i); err != nil {
+				return err
+			}
+		}
+		if ctx.Err() != nil {
+			return context.Cause(ctx)
+		}
+		return nil
+	}
+	defer active.Add(-int64(extra))
+
+	var (
+		next    atomic.Int64
+		stop    atomic.Bool
+		mu      sync.Mutex
+		firstI  = n
+		firstEr error
+		wg      sync.WaitGroup
+	)
+	fail := func(i int, err error) {
+		mu.Lock()
+		if i < firstI {
+			firstI, firstEr = i, err
+		}
+		mu.Unlock()
+		stop.Store(true)
+	}
+	run := func(worker int) {
+		for !stop.Load() {
+			if ctx.Err() != nil {
+				stop.Store(true)
+				return
+			}
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			if err := fn(worker, i); err != nil {
+				fail(i, err)
+				return
+			}
+		}
+	}
+	for w := 1; w <= extra; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			run(worker)
+		}(w)
+	}
+	run(0) // the caller works too — progress never depends on the budget
+	wg.Wait()
+	if firstEr != nil {
+		return firstEr
+	}
+	if err := ctx.Err(); err != nil {
+		return context.Cause(ctx)
+	}
+	return nil
+}
+
+// Map runs fn over [0, n) like For and collects the results in item
+// order. On error (or cancellation) the partial results are discarded
+// and only the error is returned.
+func Map[T any](ctx context.Context, n int, fn func(worker, i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := For(ctx, n, func(worker, i int) error {
+		v, err := fn(worker, i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Streams derives n independent generators from base via rng.Split.
+// Stream i depends only on base's starting state and i — never on the
+// worker count or scheduling — so per-item sampling through Streams is
+// the mechanism that keeps randomized parallel loops bit-identical
+// across worker counts. base is advanced by exactly n draws.
+func Streams(base *rng.RNG, n int) []*rng.RNG {
+	out := make([]*rng.RNG, n)
+	for i := range out {
+		out[i] = base.Split()
+	}
+	return out
+}

@@ -13,7 +13,7 @@ func TestComputeEnforcesInflightCap(t *testing.T) {
 	block := make(chan struct{})
 	hogDone := make(chan error, 1)
 	go func() {
-		_, err := s.compute(context.Background(), func() (any, error) {
+		_, err := s.compute(context.Background(), func(context.Context) (any, error) {
 			close(started)
 			<-block
 			return "slow", nil
@@ -24,7 +24,7 @@ func TestComputeEnforcesInflightCap(t *testing.T) {
 
 	// The only slot is held by a worker that outlives its deadline, so a
 	// second request must time out waiting for admission.
-	_, err := s.compute(context.Background(), func() (any, error) { return "fast", nil })
+	_, err := s.compute(context.Background(), func(context.Context) (any, error) { return "fast", nil })
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("saturated compute returned %v, want deadline exceeded", err)
 	}
@@ -37,7 +37,7 @@ func TestComputeEnforcesInflightCap(t *testing.T) {
 	if err := <-hogDone; err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("hog compute failed unexpectedly: %v", err)
 	}
-	v, err := s.compute(context.Background(), func() (any, error) { return "fast", nil })
+	v, err := s.compute(context.Background(), func(context.Context) (any, error) { return "fast", nil })
 	if err != nil || v != "fast" {
 		t.Fatalf("compute after release = %v, %v", v, err)
 	}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -35,9 +36,12 @@ func (s *Server) resolveDB(p wire.Problem) (*cleansel.DB, error) {
 }
 
 // serveComputed is the shared select/rank/assess path: consult the
-// result cache under the request's canonical hash, compute on a miss
-// under the per-request timeout, and cache the encoded success.
-func (s *Server) serveComputed(w http.ResponseWriter, r *http.Request, endpoint string, req any, f func() (any, error)) {
+// result cache under the request's canonical hash; on a miss, solve
+// under the per-request timeout, coalescing with any identical solve
+// already in flight (a thundering herd of the same viral-claim request
+// computes once), and cache the encoded success. X-Cache reports hit,
+// miss, or coalesced.
+func (s *Server) serveComputed(w http.ResponseWriter, r *http.Request, endpoint string, req any, f func(context.Context) (any, error)) {
 	key, err := cacheKey(endpoint, req)
 	if err != nil {
 		s.writeError(w, err)
@@ -51,19 +55,31 @@ func (s *Server) serveComputed(w http.ResponseWriter, r *http.Request, endpoint 
 		}
 		return
 	}
-	w.Header().Set("X-Cache", "miss")
-	v, err := s.compute(r.Context(), f)
+	// Bound this caller's wait; the coalesced computation itself is
+	// bounded inside compute and cancelled once every waiter is gone.
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+	defer cancel()
+	body, shared, err := s.flights.Do(ctx, key, func(callCtx context.Context) ([]byte, error) {
+		v, err := s.compute(callCtx, f)
+		if err != nil {
+			return nil, err
+		}
+		b, err := json.Marshal(v)
+		if err != nil {
+			return nil, err
+		}
+		return append(b, '\n'), nil
+	})
+	cacheStatus := "miss"
+	if shared {
+		cacheStatus = "coalesced"
+	}
+	w.Header().Set("X-Cache", cacheStatus)
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
-	body, err := json.Marshal(v)
-	if err != nil {
-		s.writeError(w, err)
-		return
-	}
-	body = append(body, '\n')
-	s.results.Put(key, body)
+	s.results.Put(key, body, int64(len(body)))
 	w.Header().Set("Content-Type", "application/json")
 	if _, err := w.Write(body); err != nil {
 		s.log.Error("writing response", "err", err)
@@ -77,7 +93,7 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	s.serveComputed(w, r, "select", req, func() (any, error) {
+	s.serveComputed(w, r, "select", req, func(ctx context.Context) (any, error) {
 		db, err := s.resolveDB(req.Problem)
 		if err != nil {
 			return nil, err
@@ -86,7 +102,7 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := cleansel.Select(task)
+		res, err := cleansel.SelectContext(ctx, task)
 		if err != nil {
 			return nil, err
 		}
@@ -101,7 +117,7 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	s.serveComputed(w, r, "rank", req, func() (any, error) {
+	s.serveComputed(w, r, "rank", req, func(ctx context.Context) (any, error) {
 		db, err := s.resolveDB(req.Problem)
 		if err != nil {
 			return nil, err
@@ -110,7 +126,7 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, err
 		}
-		ranked, err := cleansel.RankObjects(work, set, measure)
+		ranked, err := cleansel.RankObjectsContext(ctx, work, set, measure)
 		if err != nil {
 			return nil, err
 		}
@@ -125,7 +141,7 @@ func (s *Server) handleAssess(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	s.serveComputed(w, r, "assess", req, func() (any, error) {
+	s.serveComputed(w, r, "assess", req, func(ctx context.Context) (any, error) {
 		db, err := s.resolveDB(req.Problem)
 		if err != nil {
 			return nil, err
@@ -134,7 +150,7 @@ func (s *Server) handleAssess(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, err
 		}
-		rep, err := cleansel.AssessClaim(work, set)
+		rep, err := cleansel.AssessClaimContext(ctx, work, set)
 		if err != nil {
 			return nil, err
 		}
@@ -158,6 +174,9 @@ func (s *Server) handleDatasetUpload(w http.ResponseWriter, r *http.Request) {
 	}
 	rec, err := s.store.Add(ds)
 	if err != nil {
+		if errors.Is(err, errDatasetTooLarge) {
+			err = &apiError{Status: http.StatusRequestEntityTooLarge, Code: "payload_too_large", Message: err.Error()}
+		}
 		s.writeError(w, err)
 		return
 	}
@@ -180,8 +199,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"uptime_seconds": int64(time.Since(s.start).Seconds()),
 		"requests":       s.requests.Load(),
 		"datasets":       s.store.Len(),
+		"dataset_bytes":  s.store.Bytes(),
+		"coalesced":      s.flights.Coalesced(),
 		"cache": map[string]any{
 			"entries": s.results.Len(),
+			"bytes":   s.results.Bytes(),
 			"hits":    hits,
 			"misses":  misses,
 		},

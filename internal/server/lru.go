@@ -5,27 +5,41 @@ import (
 	"sync"
 )
 
-// lru is a mutex-guarded least-recently-used map with a fixed capacity.
-// It backs both the result cache (canonical request hash → encoded
-// response) and the dataset store (content hash → compiled database).
+// lru is a mutex-guarded least-recently-used map bounded by an entry
+// count and, optionally, a total size in bytes. It backs both the
+// result cache (canonical request hash → encoded response, sized by
+// the encoded body) and the dataset store (content hash → compiled
+// database, sized by the canonical upload encoding) — so a few huge
+// entries can no longer dominate memory while the entry count stays
+// low.
 type lru[V any] struct {
-	mu    sync.Mutex
-	max   int
-	ll    *list.List
-	items map[string]*list.Element
+	mu         sync.Mutex
+	maxEntries int
+	maxBytes   int64
+	bytes      int64
+	ll         *list.List
+	items      map[string]*list.Element
 
 	hits, misses uint64
 }
 
 type lruEntry[V any] struct {
-	key string
-	val V
+	key  string
+	val  V
+	size int64
 }
 
-// newLRU builds a cache holding at most max entries; max <= 0 disables
-// the cache (every Get misses, every Put is dropped).
-func newLRU[V any](max int) *lru[V] {
-	return &lru[V]{max: max, ll: list.New(), items: make(map[string]*list.Element)}
+// newLRU builds a cache holding at most maxEntries entries (0 means
+// unbounded by count) totalling at most maxBytes (0 means unbounded by
+// size). maxEntries < 0 disables the cache: every Get misses and every
+// Put is dropped.
+func newLRU[V any](maxEntries int, maxBytes int64) *lru[V] {
+	return &lru[V]{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		ll:         list.New(),
+		items:      make(map[string]*list.Element),
+	}
 }
 
 // Get returns the cached value and marks it most recently used.
@@ -42,25 +56,48 @@ func (c *lru[V]) Get(key string) (V, bool) {
 	return zero, false
 }
 
-// Put inserts or refreshes a value, evicting the least recently used
-// entry when the cache is full.
-func (c *lru[V]) Put(key string, val V) {
-	if c.max <= 0 {
+// Put inserts or refreshes a value of the given approximate size,
+// evicting least-recently-used entries while either bound is
+// exceeded. An entry larger than maxBytes on its own is rejected up
+// front — without touching the resident entries, which would
+// otherwise all be flushed making room for something that can never
+// fit (any stale entry under the same key is dropped, not kept).
+func (c *lru[V]) Put(key string, val V, size int64) {
+	if c.maxEntries < 0 {
 		return
+	}
+	if size < 0 {
+		size = 0
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if el, ok := c.items[key]; ok {
-		el.Value.(*lruEntry[V]).val = val
-		c.ll.MoveToFront(el)
+	if c.maxBytes > 0 && size > c.maxBytes {
+		if el, ok := c.items[key]; ok {
+			e := el.Value.(*lruEntry[V])
+			c.ll.Remove(el)
+			delete(c.items, e.key)
+			c.bytes -= e.size
+		}
 		return
 	}
-	for c.ll.Len() >= c.max {
-		oldest := c.ll.Back()
-		c.ll.Remove(oldest)
-		delete(c.items, oldest.Value.(*lruEntry[V]).key)
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*lruEntry[V])
+		c.bytes += size - e.size
+		e.val, e.size = val, size
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&lruEntry[V]{key: key, val: val, size: size})
+		c.bytes += size
 	}
-	c.items[key] = c.ll.PushFront(&lruEntry[V]{key: key, val: val})
+	for c.ll.Len() > 0 &&
+		((c.maxEntries > 0 && c.ll.Len() > c.maxEntries) ||
+			(c.maxBytes > 0 && c.bytes > c.maxBytes)) {
+		oldest := c.ll.Back()
+		e := oldest.Value.(*lruEntry[V])
+		c.ll.Remove(oldest)
+		delete(c.items, e.key)
+		c.bytes -= e.size
+	}
 }
 
 // Len returns the number of cached entries.
@@ -68,6 +105,13 @@ func (c *lru[V]) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ll.Len()
+}
+
+// Bytes returns the total approximate size of the cached entries.
+func (c *lru[V]) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
 }
 
 // Stats returns cumulative hit and miss counts.

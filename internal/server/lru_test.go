@@ -7,17 +7,17 @@ import (
 )
 
 func TestLRUBasics(t *testing.T) {
-	c := newLRU[int](2)
+	c := newLRU[int](2, 0)
 	if _, ok := c.Get("a"); ok {
 		t.Fatal("empty cache hit")
 	}
-	c.Put("a", 1)
-	c.Put("b", 2)
+	c.Put("a", 1, 1)
+	c.Put("b", 2, 1)
 	if v, ok := c.Get("a"); !ok || v != 1 {
 		t.Fatalf("Get(a) = %v, %v", v, ok)
 	}
 	// "b" is now least recently used; inserting "c" evicts it.
-	c.Put("c", 3)
+	c.Put("c", 3, 1)
 	if _, ok := c.Get("b"); ok {
 		t.Fatal("least-recently-used entry survived eviction")
 	}
@@ -34,11 +34,11 @@ func TestLRUBasics(t *testing.T) {
 }
 
 func TestLRUUpdateRefreshes(t *testing.T) {
-	c := newLRU[int](2)
-	c.Put("a", 1)
-	c.Put("b", 2)
-	c.Put("a", 10) // refresh, not insert
-	c.Put("c", 3)  // evicts b, not a
+	c := newLRU[int](2, 0)
+	c.Put("a", 1, 1)
+	c.Put("b", 2, 1)
+	c.Put("a", 10, 1) // refresh, not insert
+	c.Put("c", 3, 1)  // evicts b, not a
 	if v, ok := c.Get("a"); !ok || v != 10 {
 		t.Fatalf("refreshed entry = %v, %v", v, ok)
 	}
@@ -48,8 +48,8 @@ func TestLRUUpdateRefreshes(t *testing.T) {
 }
 
 func TestLRUDisabled(t *testing.T) {
-	c := newLRU[int](-1)
-	c.Put("a", 1)
+	c := newLRU[int](-1, 0)
+	c.Put("a", 1, 1)
 	if _, ok := c.Get("a"); ok {
 		t.Fatal("disabled cache stored an entry")
 	}
@@ -59,7 +59,7 @@ func TestLRUDisabled(t *testing.T) {
 }
 
 func TestLRUConcurrentAccess(t *testing.T) {
-	c := newLRU[int](16)
+	c := newLRU[int](16, 0)
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {
 		wg.Add(1)
@@ -67,7 +67,7 @@ func TestLRUConcurrentAccess(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 200; i++ {
 				key := fmt.Sprintf("k%d", (g+i)%32)
-				c.Put(key, i)
+				c.Put(key, i, 1)
 				c.Get(key)
 			}
 		}(g)
@@ -75,5 +75,68 @@ func TestLRUConcurrentAccess(t *testing.T) {
 	wg.Wait()
 	if c.Len() > 16 {
 		t.Fatalf("capacity exceeded: %d", c.Len())
+	}
+}
+
+func TestLRUByteBound(t *testing.T) {
+	c := newLRU[string](0, 100) // unbounded count, 100-byte budget
+	c.Put("a", "x", 40)
+	c.Put("b", "y", 40)
+	c.Put("c", "z", 40) // 120 bytes total: evicts "a"
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("byte budget not enforced")
+	}
+	if got := c.Bytes(); got != 80 {
+		t.Fatalf("Bytes = %d, want 80", got)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	// Refreshing an entry with a larger size re-evicts.
+	c.Put("b", "yy", 80) // b=80 + c=40 = 120: evicts c (LRU)
+	if _, ok := c.Get("c"); ok {
+		t.Fatal("grown refresh did not evict")
+	}
+	if got := c.Bytes(); got != 80 {
+		t.Fatalf("Bytes after refresh = %d, want 80", got)
+	}
+}
+
+func TestLRUOversizedEntryNotRetained(t *testing.T) {
+	c := newLRU[string](0, 100)
+	c.Put("big", "v", 500)
+	if _, ok := c.Get("big"); ok {
+		t.Fatal("entry larger than the byte budget was retained")
+	}
+	if c.Bytes() != 0 || c.Len() != 0 {
+		t.Fatalf("cache not empty: %d entries, %d bytes", c.Len(), c.Bytes())
+	}
+}
+
+// TestLRUOversizedEntryPreservesResidents pins the rejection order: an
+// entry that can never fit must be refused up front, not flush the
+// warm entries making room for it.
+func TestLRUOversizedEntryPreservesResidents(t *testing.T) {
+	c := newLRU[string](0, 100)
+	c.Put("a", "x", 40)
+	c.Put("b", "y", 40)
+	c.Put("big", "v", 500)
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("resident entry flushed by an oversized Put")
+	}
+	if _, ok := c.Get("b"); !ok {
+		t.Fatal("resident entry flushed by an oversized Put")
+	}
+	if c.Len() != 2 || c.Bytes() != 80 {
+		t.Fatalf("cache = %d entries / %d bytes, want 2 / 80", c.Len(), c.Bytes())
+	}
+	// A refresh that outgrows the budget drops the stale entry rather
+	// than serving it.
+	c.Put("a", "xxl", 500)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("stale undersized entry served after oversized refresh")
+	}
+	if _, ok := c.Get("b"); !ok {
+		t.Fatal("unrelated entry lost on oversized refresh")
 	}
 }

@@ -43,14 +43,22 @@ type Config struct {
 	// CacheSize is the result-cache capacity in entries (default 1024;
 	// negative disables caching).
 	CacheSize int
+	// CacheBytes bounds the result cache's total encoded-response size
+	// in bytes (0 = unbounded by size).
+	CacheBytes int64
 	// MaxDatasets bounds the dataset store (default 64).
 	MaxDatasets int
+	// MaxDatasetBytes bounds the dataset store's total approximate size
+	// in bytes, measured on the canonical upload encoding (0 =
+	// unbounded by size).
+	MaxDatasetBytes int64
 	// MaxBodyBytes bounds request bodies (default 8 MiB).
 	MaxBodyBytes int64
 	// MaxInflight caps concurrently running solver goroutines (default
-	// GOMAXPROCS). The solvers are CPU-bound and context-free, so a
-	// timed-out request's worker runs to completion; the cap keeps a
-	// burst of expensive requests from starving the daemon.
+	// GOMAXPROCS). Timed-out solves are cancelled through their
+	// context, and identical in-flight requests coalesce into one
+	// solve; the cap keeps a burst of distinct expensive requests from
+	// starving the daemon.
 	MaxInflight int
 }
 
@@ -82,6 +90,7 @@ type Server struct {
 	log      *slog.Logger
 	store    *datasetStore
 	results  *lru[[]byte]
+	flights  *flightGroup  // coalesces identical in-flight solves
 	sem      chan struct{} // counting semaphore over solver goroutines
 	start    time.Time
 	requests atomic.Uint64
@@ -93,8 +102,9 @@ func New(cfg Config) *Server {
 	return &Server{
 		cfg:     cfg,
 		log:     cfg.Logger,
-		store:   newDatasetStore(cfg.MaxDatasets),
-		results: newLRU[[]byte](cfg.CacheSize),
+		store:   newDatasetStore(cfg.MaxDatasets, cfg.MaxDatasetBytes),
+		results: newLRU[[]byte](cfg.CacheSize, cfg.CacheBytes),
+		flights: newFlightGroup(),
 		sem:     make(chan struct{}, cfg.MaxInflight),
 		start:   time.Now(),
 	}
@@ -170,11 +180,13 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // compute runs f under the server's per-request timeout and in-flight
-// cap. The worker goroutine is abandoned (not cancelled — the solvers
-// are CPU-bound and context-free) when the deadline fires; its eventual
-// result is dropped, but it holds its semaphore slot until it actually
-// finishes, so the MaxInflight bound on burning cores is real.
-func (s *Server) compute(ctx context.Context, f func() (any, error)) (any, error) {
+// cap, passing f the bounded context. The solvers cooperate with
+// cancellation (cleansel.SelectContext and friends), so when the
+// deadline fires — or the caller walks away — the solver goroutine
+// stops within one benefit evaluation instead of running to
+// completion; it holds its semaphore slot until it actually exits, so
+// the MaxInflight bound on burning cores is real.
+func (s *Server) compute(ctx context.Context, f func(context.Context) (any, error)) (any, error) {
 	ctx, cancel := context.WithTimeout(ctx, s.cfg.Timeout)
 	defer cancel()
 	select {
@@ -189,7 +201,7 @@ func (s *Server) compute(ctx context.Context, f func() (any, error)) (any, error
 	ch := make(chan outcome, 1)
 	go func() {
 		defer func() { <-s.sem }()
-		v, err := f()
+		v, err := f(ctx)
 		ch <- outcome{v, err}
 	}()
 	select {

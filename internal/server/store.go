@@ -4,55 +4,69 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 
 	cleansel "github.com/factcheck/cleansel"
 	"github.com/factcheck/cleansel/internal/server/wire"
 )
 
+// errDatasetTooLarge rejects uploads that could never be retained
+// under the store's byte budget; callers map it to 413.
+var errDatasetTooLarge = errors.New("dataset exceeds the store's byte budget")
+
 // storedDataset is one uploaded dataset: the compiled database plus the
-// metadata the API reports back.
+// metadata the API reports back. Bytes is the approximate in-memory
+// size, taken from the canonical JSON encoding of the upload — the
+// same measure the store's byte budget uses.
 type storedDataset struct {
 	ID      string
 	Name    string
 	DB      *cleansel.DB
 	Objects int
+	Bytes   int64
 }
 
 // datasetStore holds uploaded datasets keyed by content-addressed IDs,
-// evicting least-recently-used entries beyond its capacity. Content
-// addressing makes uploads idempotent — re-uploading the same objects
-// returns the same ID — and keeps result-cache keys valid across
-// evict/re-upload cycles.
+// evicting least-recently-used entries beyond its entry or byte
+// capacity. Content addressing makes uploads idempotent — re-uploading
+// the same objects returns the same ID — and keeps result-cache keys
+// valid across evict/re-upload cycles.
 type datasetStore struct {
 	cache *lru[*storedDataset]
 }
 
-func newDatasetStore(max int) *datasetStore {
-	return &datasetStore{cache: newLRU[*storedDataset](max)}
+func newDatasetStore(maxEntries int, maxBytes int64) *datasetStore {
+	return &datasetStore{cache: newLRU[*storedDataset](maxEntries, maxBytes)}
 }
 
-// datasetID derives the content-addressed ID of an object list. The
-// canonical form is encoding/json's deterministic marshaling (struct
-// fields in declaration order, map keys sorted). The full 32-byte
-// digest is kept: IDs double as result-cache key material, so they
-// must not be forgeable by birthday collisions on a truncated hash.
-func datasetID(objects []wire.Object) (string, error) {
+// datasetID derives the content-addressed ID of an object list and the
+// canonical encoding's size. The canonical form is encoding/json's
+// deterministic marshaling (struct fields in declaration order, map
+// keys sorted). The full 32-byte digest is kept: IDs double as
+// result-cache key material, so they must not be forgeable by birthday
+// collisions on a truncated hash.
+func datasetID(objects []wire.Object) (string, int64, error) {
 	canonical, err := json.Marshal(objects)
 	if err != nil {
-		return "", fmt.Errorf("canonicalizing dataset: %w", err)
+		return "", 0, fmt.Errorf("canonicalizing dataset: %w", err)
 	}
 	sum := sha256.Sum256(canonical)
-	return "ds_" + hex.EncodeToString(sum[:]), nil
+	return "ds_" + hex.EncodeToString(sum[:]), int64(len(canonical)), nil
 }
 
 // Add compiles and stores a dataset, returning its content-addressed
 // record. Re-uploading identical objects is a no-op returning the same
-// ID.
+// ID. A dataset too large to ever fit the byte budget is rejected with
+// errDatasetTooLarge: answering success for an ID that was silently
+// dropped would turn every follow-up select into a 404.
 func (s *datasetStore) Add(ds wire.Dataset) (*storedDataset, error) {
-	id, err := datasetID(ds.Objects)
+	id, size, err := datasetID(ds.Objects)
 	if err != nil {
 		return nil, err
+	}
+	if max := s.cache.maxBytes; max > 0 && size > max {
+		return nil, fmt.Errorf("%w (%d > %d bytes)", errDatasetTooLarge, size, max)
 	}
 	if got, ok := s.cache.Get(id); ok {
 		if ds.Name == "" || got.Name == ds.Name {
@@ -60,16 +74,16 @@ func (s *datasetStore) Add(ds wire.Dataset) (*storedDataset, error) {
 		}
 		// Same content under a new label: honour the latest name (the
 		// compiled database is shared; only the metadata changes).
-		rec := &storedDataset{ID: id, Name: ds.Name, DB: got.DB, Objects: got.Objects}
-		s.cache.Put(id, rec)
+		rec := &storedDataset{ID: id, Name: ds.Name, DB: got.DB, Objects: got.Objects, Bytes: got.Bytes}
+		s.cache.Put(id, rec, rec.Bytes)
 		return rec, nil
 	}
 	db, err := wire.BuildDB(ds.Objects)
 	if err != nil {
 		return nil, err
 	}
-	rec := &storedDataset{ID: id, Name: ds.Name, DB: db, Objects: db.N()}
-	s.cache.Put(id, rec)
+	rec := &storedDataset{ID: id, Name: ds.Name, DB: db, Objects: db.N(), Bytes: size}
+	s.cache.Put(id, rec, size)
 	return rec, nil
 }
 
@@ -80,3 +94,6 @@ func (s *datasetStore) Get(id string) (*storedDataset, bool) {
 
 // Len returns the number of stored datasets.
 func (s *datasetStore) Len() int { return s.cache.Len() }
+
+// Bytes returns the approximate total size of the stored datasets.
+func (s *datasetStore) Bytes() int64 { return s.cache.Bytes() }

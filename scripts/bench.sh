@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Benchmark the parallel subsystem and record the results as JSON.
+#
+# Runs BenchmarkGroupEngineParallel and BenchmarkSelectParallel (each at
+# workers=1 and workers=GOMAXPROCS) and writes BENCH_parallel.json at
+# the repo root: one object per benchmark line plus a speedup summary
+# per benchmark family. Used by the CI bench job and runnable locally:
+#
+#   ./scripts/bench.sh            # quick: -benchtime 1x
+#   BENCHTIME=5x ./scripts/bench.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+benchtime="${BENCHTIME:-1x}"
+out="${BENCH_OUT:-BENCH_parallel.json}"
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench 'BenchmarkGroupEngineParallel|BenchmarkSelectParallel' \
+  -benchtime "$benchtime" -count 1 . | tee "$raw"
+
+awk -v benchtime="$benchtime" '
+  /^Benchmark/ && /ns\/op/ {
+    name = $1
+    iters = $2
+    ns = $3
+    sub(/-[0-9]+$/, "", name)   # strip the -GOMAXPROCS suffix
+    n = split(name, parts, "/")
+    family = parts[1]
+    workers = parts[n]
+    sub(/^workers=/, "", workers)
+    results[++count] = sprintf("{\"name\":\"%s\",\"workers\":%s,\"iterations\":%s,\"ns_per_op\":%s}", name, workers, iters, ns)
+    ns_by[family "|" workers] = ns
+    fams[family] = 1
+  }
+  END {
+    printf "{\n  \"benchtime\": \"%s\",\n  \"results\": [", benchtime
+    for (i = 1; i <= count; i++) printf "%s\n    %s", (i > 1 ? "," : ""), results[i]
+    printf "\n  ],\n  \"speedup\": {"
+    first = 1
+    for (f in fams) {
+      base = ""
+      best = ""
+      for (key in ns_by) {
+        split(key, kp, "|")
+        if (kp[1] != f) continue
+        if (kp[2] == "1") base = ns_by[key]
+        else best = ns_by[key]
+      }
+      if (base != "" && best != "" && best + 0 > 0) {
+        printf "%s\n    \"%s\": %.3f", (first ? "" : ","), f, base / best
+        first = 0
+      }
+    }
+    printf "\n  }\n}\n"
+  }
+' "$raw" > "$out"
+
+echo "wrote $out:"
+cat "$out"
