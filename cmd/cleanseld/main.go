@@ -22,6 +22,13 @@
 // solves are cancelled rather than left running. -addr-file writes the
 // bound address (useful with -addr :0) for scripts that need the
 // chosen port.
+//
+// State is in-memory by default and lost on restart. -data-dir makes
+// uploaded datasets durable (content-hash-named files, atomic writes,
+// lazy reload), and -cache-snapshot persists the result cache
+// periodically (-cache-snapshot-every) and on graceful shutdown, so a
+// restarted daemon resumes with its datasets and warm cache. Damaged
+// state on disk is skipped and counted on /healthz, never fatal.
 package main
 
 import (
@@ -58,6 +65,9 @@ func run(args []string, errw *os.File) int {
 		maxBody     = fs.Int64("max-body", 8<<20, "maximum request body bytes")
 		maxInflight = fs.Int("max-inflight", 0, "concurrent solver cap (0 = GOMAXPROCS)")
 		logJSON     = fs.Bool("log-json", false, "emit JSON logs instead of text")
+		dataDir     = fs.String("data-dir", "", "directory for durable dataset storage (empty = in-memory only)")
+		cacheSnap   = fs.String("cache-snapshot", "", "file the result cache is snapshotted to and restored from (empty = no snapshots)")
+		snapEvery   = fs.Duration("cache-snapshot-every", time.Minute, "period between result-cache snapshots (with -cache-snapshot)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(errw, "usage: cleanseld [flags]")
@@ -78,16 +88,23 @@ func run(args []string, errw *os.File) int {
 	}
 	logger := slog.New(handler)
 
-	srv := server.New(server.Config{
-		Logger:          logger,
-		Timeout:         *timeout,
-		CacheSize:       *cacheSize,
-		CacheBytes:      *cacheBytes,
-		MaxDatasets:     *maxDatasets,
-		MaxDatasetBytes: *maxDSBytes,
-		MaxBodyBytes:    *maxBody,
-		MaxInflight:     *maxInflight,
+	srv, err := server.New(server.Config{
+		Logger:             logger,
+		Timeout:            *timeout,
+		CacheSize:          *cacheSize,
+		CacheBytes:         *cacheBytes,
+		MaxDatasets:        *maxDatasets,
+		MaxDatasetBytes:    *maxDSBytes,
+		MaxBodyBytes:       *maxBody,
+		MaxInflight:        *maxInflight,
+		DataDir:            *dataDir,
+		CacheSnapshot:      *cacheSnap,
+		CacheSnapshotEvery: *snapEvery,
 	})
+	if err != nil {
+		logger.Error("initializing durable state", "err", err)
+		return 1
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -119,10 +136,15 @@ func run(args []string, errw *os.File) int {
 		defer cancel()
 		if err := httpSrv.Shutdown(ctx); err != nil {
 			logger.Error("shutdown", "err", err)
+			srv.Close()
 			return 1
 		}
+		// In-flight requests are drained; flush the final cache
+		// snapshot so the restarted daemon comes back warm.
+		srv.Close()
 		return 0
 	case err := <-done:
+		srv.Close()
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
 			logger.Error("serve", "err", err)
 			return 1

@@ -8,7 +8,7 @@ import (
 )
 
 func TestComputeEnforcesInflightCap(t *testing.T) {
-	s := New(Config{Timeout: 50 * time.Millisecond, MaxInflight: 1})
+	s := mustNew(t, Config{Timeout: 50 * time.Millisecond, MaxInflight: 1})
 	started := make(chan struct{})
 	block := make(chan struct{})
 	hogDone := make(chan error, 1)

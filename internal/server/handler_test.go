@@ -44,8 +44,24 @@ func selectBody(dataRef string) string {
 }`
 }
 
+// mustNew builds a Server, failing the test on configuration errors
+// (only possible when durable state is requested).
+func mustNew(t testing.TB, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
 func newTestServer(cfg Config) http.Handler {
-	return New(cfg).Handler()
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s.Handler()
 }
 
 // do runs one request through the handler and returns the recorder.

@@ -174,8 +174,13 @@ func (s *Server) handleDatasetUpload(w http.ResponseWriter, r *http.Request) {
 	}
 	rec, err := s.store.Add(ds)
 	if err != nil {
-		if errors.Is(err, errDatasetTooLarge) {
+		switch {
+		case errors.Is(err, errDatasetTooLarge):
 			err = &apiError{Status: http.StatusRequestEntityTooLarge, Code: "payload_too_large", Message: err.Error()}
+		case errors.Is(err, errPersist):
+			// Durable mode could not write the dataset file: the upload
+			// must not be acknowledged, and it is the server's fault.
+			err = &apiError{Status: http.StatusInternalServerError, Code: "persist_error", Message: err.Error()}
 		}
 		s.writeError(w, err)
 		return
@@ -194,7 +199,7 @@ func (s *Server) handleDatasetGet(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	hits, misses := s.results.Stats()
-	s.writeJSON(w, http.StatusOK, map[string]any{
+	health := map[string]any{
 		"status":         "ok",
 		"uptime_seconds": int64(time.Since(s.start).Seconds()),
 		"requests":       s.requests.Load(),
@@ -207,5 +212,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			"hits":    hits,
 			"misses":  misses,
 		},
-	})
+	}
+	if p := s.persistStats(); p != nil {
+		health["persist"] = p
+	}
+	s.writeJSON(w, http.StatusOK, health)
 }

@@ -17,6 +17,7 @@ type lru[V any] struct {
 	maxEntries int
 	maxBytes   int64
 	bytes      int64
+	gen        uint64 // bumped on every content change (insert/update/evict)
 	ll         *list.List
 	items      map[string]*list.Element
 
@@ -71,6 +72,7 @@ func (c *lru[V]) Put(key string, val V, size int64) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.gen++
 	if c.maxBytes > 0 && size > c.maxBytes {
 		if el, ok := c.items[key]; ok {
 			e := el.Value.(*lruEntry[V])
@@ -100,6 +102,18 @@ func (c *lru[V]) Put(key string, val V, size int64) {
 	}
 }
 
+// Each calls f on every entry from least to most recently used, under
+// the lock. The cache snapshot uses it: re-inserting entries in this
+// order through Put reproduces the recency order exactly.
+func (c *lru[V]) Each(f func(key string, val V, size int64)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.ll.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*lruEntry[V])
+		f(e.key, e.val, e.size)
+	}
+}
+
 // Len returns the number of cached entries.
 func (c *lru[V]) Len() int {
 	c.mu.Lock()
@@ -112,6 +126,16 @@ func (c *lru[V]) Bytes() int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.bytes
+}
+
+// Gen returns a counter that advances on every content change (any
+// Put). Recency-only changes (Get) do not advance it: two equal Gen
+// readings mean the cached keys and values are unchanged, which lets
+// the snapshot loop skip rewriting an unchanged cache.
+func (c *lru[V]) Gen() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gen
 }
 
 // Stats returns cumulative hit and miss counts.

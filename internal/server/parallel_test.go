@@ -299,7 +299,7 @@ func slowSelectBody(t *testing.T, n, w int) string {
 // running a multi-ten-second solve to completion.
 func TestSelectTimeoutStopsSolver(t *testing.T) {
 	t.Setenv(parallel.EnvWorkers, "1") // make the solve reliably slow
-	s := New(Config{Timeout: 100 * time.Millisecond, MaxInflight: 1})
+	s := mustNew(t, Config{Timeout: 100 * time.Millisecond, MaxInflight: 1})
 	h := s.Handler()
 	body := slowSelectBody(t, 800, 8)
 
@@ -326,7 +326,7 @@ func TestSelectTimeoutStopsSolver(t *testing.T) {
 // joins that solve instead of starting its own.
 func TestSelectCoalescesIdenticalInflight(t *testing.T) {
 	t.Setenv(parallel.EnvWorkers, "1")
-	s := New(Config{Timeout: 500 * time.Millisecond, MaxInflight: 2})
+	s := mustNew(t, Config{Timeout: 500 * time.Millisecond, MaxInflight: 2})
 	h := s.Handler()
 	body := slowSelectBody(t, 800, 8)
 
@@ -364,7 +364,7 @@ func TestSelectCoalescesIdenticalInflight(t *testing.T) {
 // with a fast request: concurrent identical requests produce one
 // computation and byte-identical bodies.
 func TestCoalescedSuccessSharesOneComputation(t *testing.T) {
-	s := New(Config{})
+	s := mustNew(t, Config{})
 	h := s.Handler()
 	body := selectBody(inlineObjects)
 
@@ -407,7 +407,7 @@ func TestDatasetStoreByteEviction(t *testing.T) {
 		}}}
 	}
 	// Measure one upload's accounted size, then budget for two.
-	probe, err := newDatasetStore(0, 0).Add(mkDS("aaaa", 1))
+	probe, err := newDatasetStore(0, 0, nil).Add(mkDS("aaaa", 1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -415,7 +415,7 @@ func TestDatasetStoreByteEviction(t *testing.T) {
 		t.Fatalf("dataset size not accounted: %d", probe.Bytes)
 	}
 	budget := 2*probe.Bytes + probe.Bytes/2
-	st := newDatasetStore(0, budget) // byte-bounded only
+	st := newDatasetStore(0, budget, nil) // byte-bounded only
 	recA, err := st.Add(mkDS("aaaa", 1))
 	if err != nil {
 		t.Fatal(err)
@@ -442,7 +442,7 @@ func TestDatasetStoreByteEviction(t *testing.T) {
 // an ID for a dataset that was silently dropped (flushing the resident
 // datasets on the way out).
 func TestOversizedDatasetUploadRejected(t *testing.T) {
-	srv := New(Config{MaxDatasetBytes: 400})
+	srv := mustNew(t, Config{MaxDatasetBytes: 400})
 	h := srv.Handler()
 	if rec := do(t, h, "POST", "/v1/datasets", datasetBody); rec.Code != http.StatusOK {
 		t.Fatalf("small upload: %d %s", rec.Code, rec.Body.String())

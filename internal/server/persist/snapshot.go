@@ -1,0 +1,115 @@
+package persist
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+)
+
+// SnapshotVersion is the current cache snapshot format version.
+//
+// A snapshot is the 8-byte magic "CLEANSNP", a big-endian uint32
+// version, a big-endian uint64 entry count, the entries (uint32 key
+// length, key bytes, uint64 value length, value bytes), and finally
+// the SHA-256 of everything before it. Any truncation or corruption —
+// short file, bad magic, unknown version, checksum mismatch, stray
+// trailing bytes — fails ReadSnapshot with a descriptive error; it can
+// never yield a partially or wrongly restored cache.
+const SnapshotVersion = 1
+
+const snapshotMagic = "CLEANSNP"
+
+// Entry is one cache entry in a snapshot. Snapshots hold entries least
+// recently used first, so re-inserting them in order reproduces the
+// cache's recency order.
+type Entry struct {
+	Key   string
+	Value []byte
+}
+
+// WriteSnapshot atomically replaces the snapshot at path with the
+// given entries (a temp-file write and rename, like dataset files, so
+// a crash mid-snapshot leaves the previous snapshot intact).
+func WriteSnapshot(path string, entries []Entry) error {
+	var buf bytes.Buffer
+	buf.WriteString(snapshotMagic)
+	var u32 [4]byte
+	var u64 [8]byte
+	binary.BigEndian.PutUint32(u32[:], SnapshotVersion)
+	buf.Write(u32[:])
+	binary.BigEndian.PutUint64(u64[:], uint64(len(entries)))
+	buf.Write(u64[:])
+	for _, e := range entries {
+		binary.BigEndian.PutUint32(u32[:], uint32(len(e.Key)))
+		buf.Write(u32[:])
+		buf.WriteString(e.Key)
+		binary.BigEndian.PutUint64(u64[:], uint64(len(e.Value)))
+		buf.Write(u64[:])
+		buf.Write(e.Value)
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	buf.Write(sum[:])
+	if err := atomicWrite(path, buf.Bytes()); err != nil {
+		return fmt.Errorf("writing snapshot: %w", err)
+	}
+	return nil
+}
+
+// ReadSnapshot reads and verifies the snapshot at path. A missing file
+// returns an error satisfying errors.Is(err, fs.ErrNotExist) (the
+// normal first-boot case); anything structurally wrong returns a
+// descriptive error and no entries.
+func ReadSnapshot(path string) ([]Entry, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	header := len(snapshotMagic) + 4 + 8
+	if len(raw) < header+sha256.Size {
+		return nil, fmt.Errorf("snapshot truncated: %d bytes", len(raw))
+	}
+	payload, sum := raw[:len(raw)-sha256.Size], raw[len(raw)-sha256.Size:]
+	if string(payload[:len(snapshotMagic)]) != snapshotMagic {
+		return nil, errors.New("snapshot: bad magic")
+	}
+	if v := binary.BigEndian.Uint32(payload[len(snapshotMagic):]); v != SnapshotVersion {
+		return nil, fmt.Errorf("snapshot: unsupported version %d", v)
+	}
+	if want := sha256.Sum256(payload); !bytes.Equal(want[:], sum) {
+		return nil, errors.New("snapshot: checksum mismatch (truncated or corrupt)")
+	}
+	count := binary.BigEndian.Uint64(payload[len(snapshotMagic)+4:])
+	rest := payload[header:]
+	// The checksum already vouches for the structure; the bounds checks
+	// below are defense in depth against writer bugs.
+	var entries []Entry
+	for i := uint64(0); i < count; i++ {
+		if len(rest) < 4 {
+			return nil, fmt.Errorf("snapshot: entry %d key length missing", i)
+		}
+		klen := binary.BigEndian.Uint32(rest)
+		rest = rest[4:]
+		if uint64(len(rest)) < uint64(klen) {
+			return nil, fmt.Errorf("snapshot: entry %d key truncated", i)
+		}
+		key := string(rest[:klen])
+		rest = rest[klen:]
+		if len(rest) < 8 {
+			return nil, fmt.Errorf("snapshot: entry %d value length missing", i)
+		}
+		vlen := binary.BigEndian.Uint64(rest)
+		rest = rest[8:]
+		if uint64(len(rest)) < vlen {
+			return nil, fmt.Errorf("snapshot: entry %d value truncated", i)
+		}
+		entries = append(entries, Entry{Key: key, Value: append([]byte(nil), rest[:vlen]...)})
+		rest = rest[vlen:]
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("snapshot: %d trailing bytes after %d entries", len(rest), count)
+	}
+	return entries, nil
+}

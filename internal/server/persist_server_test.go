@@ -1,0 +1,391 @@
+package server
+
+import (
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/factcheck/cleansel/internal/server/persist"
+	"github.com/factcheck/cleansel/internal/server/wire"
+)
+
+// durableConfig is the standard durable test setup: datasets under
+// dir, cache snapshots beside them. The snapshot period is long so
+// only Close-time snapshots happen deterministically.
+func durableConfig(dir string) Config {
+	return Config{
+		DataDir:            dir,
+		CacheSnapshot:      filepath.Join(dir, "cache.snap"),
+		CacheSnapshotEvery: time.Hour,
+	}
+}
+
+// uploadQuickstart uploads the shared test dataset and returns its id.
+func uploadQuickstart(t *testing.T, h http.Handler) string {
+	t.Helper()
+	up := do(t, h, "POST", "/v1/datasets", datasetBody)
+	if up.Code != http.StatusOK {
+		t.Fatalf("upload status %d: %s", up.Code, up.Body.String())
+	}
+	id, _ := decodeBody(t, up)["id"].(string)
+	if !strings.HasPrefix(id, "ds_") {
+		t.Fatalf("bad dataset id %q", id)
+	}
+	return id
+}
+
+// persistBlock fetches /healthz and returns its persist stats.
+func persistBlock(t *testing.T, h http.Handler) map[string]any {
+	t.Helper()
+	rec := do(t, h, "GET", "/healthz", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz status %d", rec.Code)
+	}
+	p, ok := decodeBody(t, rec)["persist"].(map[string]any)
+	if !ok {
+		t.Fatalf("healthz has no persist block: %s", rec.Body.String())
+	}
+	return p
+}
+
+// datasetFilePath locates the single on-disk dataset file.
+func datasetFilePath(t *testing.T, dir string) string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "datasets", "ds_*.json"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("dataset files on disk = %v (err %v), want exactly one", matches, err)
+	}
+	return matches[0]
+}
+
+// TestDatasetAndCacheSurviveRestart is the acceptance path: upload →
+// solve → shut down → restart on the same state → the dataset GET and
+// the select both succeed, the select byte-identically and straight
+// from the restored cache snapshot.
+func TestDatasetAndCacheSurviveRestart(t *testing.T) {
+	dir := t.TempDir()
+	s1 := mustNew(t, durableConfig(dir))
+	h1 := s1.Handler()
+	id := uploadQuickstart(t, h1)
+
+	body := selectBody(`"dataset_id": "` + id + `",`)
+	first := do(t, h1, "POST", "/v1/select", body)
+	if first.Code != http.StatusOK {
+		t.Fatalf("select status %d: %s", first.Code, first.Body.String())
+	}
+	p := persistBlock(t, h1)
+	if p["datasets_on_disk"].(float64) != 1 || p["load_errors"].(float64) != 0 {
+		t.Fatalf("persist stats before restart: %v", p)
+	}
+	s1.Close() // graceful shutdown: final snapshot
+
+	// The durable layer must hold the canonical upload bytes exactly.
+	disk, err := persist.OpenDatasets(filepath.Join(dir, "datasets"), 0, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, canonical, err := disk.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := wire.DecodeDataset(strings.NewReader(datasetBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, want, err := datasetID(ds.Objects)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(canonical) != string(want) {
+		t.Fatalf("on-disk canonical bytes differ from the upload:\n%s\nvs\n%s", canonical, want)
+	}
+
+	// "Restart": a fresh server over the same directory.
+	s2 := mustNew(t, durableConfig(dir))
+	h2 := s2.Handler()
+
+	meta := do(t, h2, "GET", "/v1/datasets/"+id, "")
+	if meta.Code != http.StatusOK {
+		t.Fatalf("dataset lost across restart: %d %s", meta.Code, meta.Body.String())
+	}
+	m := decodeBody(t, meta)
+	if m["name"] != "quickstart" || m["objects"].(float64) != 3 {
+		t.Fatalf("restored metadata: %s", meta.Body.String())
+	}
+
+	again := do(t, h2, "POST", "/v1/select", body)
+	if again.Code != http.StatusOK {
+		t.Fatalf("select after restart: %d %s", again.Code, again.Body.String())
+	}
+	if got := again.Header().Get("X-Cache"); got != "hit" {
+		t.Fatalf("X-Cache after restart = %q, want hit (snapshot restore)", got)
+	}
+	if again.Body.String() != first.Body.String() {
+		t.Fatalf("answer changed across restart:\n%s\nvs\n%s", again.Body.String(), first.Body.String())
+	}
+	if p := persistBlock(t, h2); p["load_errors"].(float64) != 0 ||
+		p["snapshot_age_seconds"].(float64) < 0 {
+		t.Fatalf("persist stats after restart: %v", p)
+	}
+}
+
+// TestDatasetEvictedFromMemoryReloadsFromDisk pins the lazy-reload
+// path without a restart: an upload gone from the in-memory cache
+// must still resolve through the on-disk copy.
+func TestDatasetEvictedFromMemoryReloadsFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	s := mustNew(t, durableConfig(dir))
+	h := s.Handler()
+	id := uploadQuickstart(t, h)
+
+	// Drop the compiled record from memory, leaving only the file.
+	s.store.cache = newLRU[*storedDataset](1, 0)
+
+	rec := do(t, h, "GET", "/v1/datasets/"+id, "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("evicted dataset did not reload from disk: %d %s", rec.Code, rec.Body.String())
+	}
+	sel := do(t, h, "POST", "/v1/select", selectBody(`"dataset_id": "`+id+`",`))
+	if sel.Code != http.StatusOK {
+		t.Fatalf("select on reloaded dataset: %d %s", sel.Code, sel.Body.String())
+	}
+}
+
+// TestCorruptDatasetFileIsSkippedAndCounted injects the crash shapes
+// the recovery path must absorb: a truncated dataset file and one
+// whose bytes no longer match the content-addressed name.
+func TestCorruptDatasetFileIsSkippedAndCounted(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(t *testing.T, path string)
+	}{
+		{"truncated", func(t *testing.T, path string) {
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, raw[:len(raw)/2], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"hash mismatch", func(t *testing.T, path string) {
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Flip a digit inside the payload: still valid JSON, wrong
+			// content for the name.
+			mangled := strings.Replace(string(raw), `"current":100`, `"current":666`, 1)
+			if mangled == string(raw) {
+				t.Fatal("corruption did not apply")
+			}
+			if err := os.WriteFile(path, []byte(mangled), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			s1 := mustNew(t, durableConfig(dir))
+			id := uploadQuickstart(t, s1.Handler())
+			s1.Close()
+			tc.corrupt(t, datasetFilePath(t, dir))
+
+			s2 := mustNew(t, durableConfig(dir))
+			h2 := s2.Handler()
+			// Still serving; the bad dataset is a 404, not a crash or
+			// wrong bytes.
+			if rec := do(t, h2, "GET", "/v1/datasets/"+id, ""); rec.Code != http.StatusNotFound {
+				t.Fatalf("corrupt dataset GET = %d, want 404", rec.Code)
+			}
+			wantError(t, do(t, h2, "POST", "/v1/select", selectBody(`"dataset_id": "`+id+`",`)),
+				http.StatusNotFound, "not_found")
+			if p := persistBlock(t, h2); p["load_errors"].(float64) != 1 {
+				t.Fatalf("load_errors = %v, want 1", p["load_errors"])
+			}
+			// The damaged file is quarantined; a re-upload heals the id.
+			if got := uploadQuickstart(t, h2); got != id {
+				t.Fatalf("re-upload id %s, want %s", got, id)
+			}
+			if rec := do(t, h2, "GET", "/v1/datasets/"+id, ""); rec.Code != http.StatusOK {
+				t.Fatalf("re-upload did not heal: %d", rec.Code)
+			}
+		})
+	}
+}
+
+// TestLeftoverTempFileIsCountedOnStartup simulates a crash between
+// temp write and rename.
+func TestLeftoverTempFileIsCountedOnStartup(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, "datasets"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	partial := filepath.Join(dir, "datasets", ".tmp-crashed")
+	if err := os.WriteFile(partial, []byte(`{"format":1,"objects":[tru`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := mustNew(t, durableConfig(dir))
+	if p := persistBlock(t, s.Handler()); p["load_errors"].(float64) != 1 ||
+		p["datasets_on_disk"].(float64) != 0 {
+		t.Fatalf("persist stats: %v", p)
+	}
+	if _, err := os.Stat(partial); !os.IsNotExist(err) {
+		t.Fatalf("partial temp file survived startup: %v", err)
+	}
+}
+
+// TestTruncatedSnapshotStartsCold pins the snapshot recovery contract:
+// a damaged snapshot is counted and skipped, and the server starts
+// with a cold — not partially restored — cache.
+func TestTruncatedSnapshotStartsCold(t *testing.T) {
+	dir := t.TempDir()
+	s1 := mustNew(t, durableConfig(dir))
+	h1 := s1.Handler()
+	body := selectBody(inlineObjects)
+	if rec := do(t, h1, "POST", "/v1/select", body); rec.Code != http.StatusOK {
+		t.Fatalf("select: %d", rec.Code)
+	}
+	s1.Close()
+
+	snap := filepath.Join(dir, "cache.snap")
+	raw, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(snap, raw[:len(raw)-17], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustNew(t, durableConfig(dir))
+	h2 := s2.Handler()
+	rec := do(t, h2, "POST", "/v1/select", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("select after damaged snapshot: %d", rec.Code)
+	}
+	if got := rec.Header().Get("X-Cache"); got != "miss" {
+		t.Fatalf("X-Cache = %q, want miss (cold start after damaged snapshot)", got)
+	}
+	if p := persistBlock(t, h2); p["load_errors"].(float64) != 1 {
+		t.Fatalf("load_errors = %v, want 1", p["load_errors"])
+	}
+}
+
+// TestPeriodicSnapshotWrites pins the ticker path: with a short
+// period, the snapshot file appears without any Close.
+func TestPeriodicSnapshotWrites(t *testing.T) {
+	dir := t.TempDir()
+	cfg := durableConfig(dir)
+	cfg.CacheSnapshotEvery = 10 * time.Millisecond
+	s := mustNew(t, cfg)
+	h := s.Handler()
+	if rec := do(t, h, "POST", "/v1/select", selectBody(inlineObjects)); rec.Code != http.StatusOK {
+		t.Fatalf("select: %d", rec.Code)
+	}
+	snap := filepath.Join(dir, "cache.snap")
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if info, err := os.Stat(snap); err == nil && info.Size() > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("periodic snapshot never appeared")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The periodic snapshot must be restorable as written.
+	entries, err := persist.ReadSnapshot(snap)
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("periodic snapshot: %d entries, %v", len(entries), err)
+	}
+}
+
+// TestBoundarySizedUploadIs413NotAcknowledged pins two review-driven
+// contracts at once: a dataset whose canonical encoding squeaks under
+// the byte budget but whose on-disk envelope does not is the client's
+// 413 (not a 500 persist error), and a failed durable write leaves no
+// acknowledged-looking record behind — the id must 404 afterwards.
+func TestBoundarySizedUploadIs413NotAcknowledged(t *testing.T) {
+	ds, err := wire.DecodeDataset(strings.NewReader(datasetBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, canonical, err := datasetID(ds.Objects)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	cfg := durableConfig(dir)
+	cfg.MaxDatasetBytes = int64(len(canonical)) // envelope won't fit
+	s := mustNew(t, cfg)
+	h := s.Handler()
+
+	wantError(t, do(t, h, "POST", "/v1/datasets", datasetBody),
+		http.StatusRequestEntityTooLarge, "payload_too_large")
+	if rec := do(t, h, "GET", "/v1/datasets/"+id, ""); rec.Code != http.StatusNotFound {
+		t.Fatalf("failed upload is still served: %d", rec.Code)
+	}
+	wantError(t, do(t, h, "POST", "/v1/select", selectBody(`"dataset_id": "`+id+`",`)),
+		http.StatusNotFound, "not_found")
+}
+
+// TestUnchangedCacheSkipsSnapshotRewrite pins the idle-daemon
+// behavior: a snapshot is not rewritten while the cache content is
+// unchanged (restore → Close must leave the file untouched).
+func TestUnchangedCacheSkipsSnapshotRewrite(t *testing.T) {
+	dir := t.TempDir()
+	s1 := mustNew(t, durableConfig(dir))
+	if rec := do(t, s1.Handler(), "POST", "/v1/select", selectBody(inlineObjects)); rec.Code != http.StatusOK {
+		t.Fatalf("select: %d", rec.Code)
+	}
+	s1.Close()
+	snap := filepath.Join(dir, "cache.snap")
+	before, err := os.Stat(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Make any rewrite detectable regardless of filesystem timestamp
+	// granularity.
+	old := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(snap, old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustNew(t, durableConfig(dir)) // restores, changes nothing
+	s2.Close()
+	after, err := os.Stat(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !after.ModTime().Equal(old) || after.Size() != before.Size() {
+		t.Fatalf("unchanged cache rewrote the snapshot (mtime %v → %v)", old, after.ModTime())
+	}
+
+	// A real change resumes snapshotting.
+	s3 := mustNew(t, durableConfig(dir))
+	if rec := do(t, s3.Handler(), "POST", "/v1/select", selectBody(`"dataset_id": "missing_x",`)); rec.Code == 0 {
+		t.Fatal("unreachable")
+	}
+	// The 404 above is not cached; drive a cacheable change instead.
+	other := strings.Replace(selectBody(inlineObjects), `"budget": 1`, `"budget": 2`, 1)
+	if rec := do(t, s3.Handler(), "POST", "/v1/select", other); rec.Code != http.StatusOK {
+		t.Fatalf("second select: %d", rec.Code)
+	}
+	s3.Close()
+	if final, err := os.Stat(snap); err != nil || final.ModTime().Equal(old) {
+		t.Fatalf("changed cache did not refresh the snapshot: %v, %v", final, err)
+	}
+}
+
+// TestPersistBlockAbsentForMemoryOnly keeps the default healthz shape
+// unchanged: no persist block unless durability is configured.
+func TestPersistBlockAbsentForMemoryOnly(t *testing.T) {
+	h := newTestServer(Config{})
+	if m := decodeBody(t, do(t, h, "GET", "/healthz", "")); m["persist"] != nil {
+		t.Fatalf("memory-only healthz grew a persist block: %v", m["persist"])
+	}
+}

@@ -18,6 +18,13 @@
 // Requests are bounded by a per-request timeout and a maximum body size,
 // and every request is access-logged through log/slog with latency and
 // cache-status fields.
+//
+// By default all state is in-memory. Config.DataDir makes the dataset
+// store disk-backed (content-hash-named files, atomic writes, lazy
+// reload after restart) and Config.CacheSnapshot gives the result
+// cache periodic checksummed snapshots restored on startup; see
+// internal/server/persist. /healthz then reports a "persist" block
+// (datasets_on_disk, snapshot_age_seconds, load_errors).
 package server
 
 import (
@@ -27,11 +34,17 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io/fs"
 	"log/slog"
 	"net/http"
+	"os"
+	"path/filepath"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/factcheck/cleansel/internal/server/persist"
 )
 
 // Config tunes a Server. The zero value gets sensible defaults.
@@ -60,6 +73,19 @@ type Config struct {
 	// solve; the cap keeps a burst of distinct expensive requests from
 	// starving the daemon.
 	MaxInflight int
+	// DataDir, when non-empty, makes the dataset store disk-backed:
+	// uploads are atomically written as content-hash-named files under
+	// DataDir/datasets, reloaded lazily after a restart, with
+	// MaxDatasets/MaxDatasetBytes enforced against the on-disk index.
+	// Empty (the default) keeps the store in-memory only.
+	DataDir string
+	// CacheSnapshot, when non-empty, is the file the result cache is
+	// periodically snapshotted to, restored from on startup, and
+	// finally flushed to on Close. Empty disables snapshots.
+	CacheSnapshot string
+	// CacheSnapshotEvery is the period between cache snapshots when
+	// CacheSnapshot is set (default 1m).
+	CacheSnapshotEvery time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -81,6 +107,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxInflight <= 0 {
 		c.MaxInflight = runtime.GOMAXPROCS(0)
 	}
+	if c.CacheSnapshotEvery <= 0 {
+		c.CacheSnapshotEvery = time.Minute
+	}
 	return c
 }
 
@@ -94,19 +123,148 @@ type Server struct {
 	sem      chan struct{} // counting semaphore over solver goroutines
 	start    time.Time
 	requests atomic.Uint64
+
+	// Durable-state machinery; zero/nil when the server is in-memory
+	// only (the default).
+	disk           *persist.DatasetDir
+	snapPath       string
+	snapLoadErrors atomic.Uint64 // unusable snapshots detected at startup
+	lastSnap       atomic.Int64  // unix seconds of the newest good snapshot
+	lastSnapGen    atomic.Uint64 // results.Gen() captured by the newest snapshot
+	stopSnap       chan struct{}
+	snapDone       chan struct{}
+	closeOnce      sync.Once
 }
 
-// New builds a Server from cfg.
-func New(cfg Config) *Server {
+// New builds a Server from cfg. It fails only when durable state is
+// requested and its directory cannot be prepared; damaged state found
+// there (corrupt datasets, an unreadable snapshot) is logged, counted,
+// and skipped rather than refusing to serve.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	return &Server{
+	s := &Server{
 		cfg:     cfg,
 		log:     cfg.Logger,
-		store:   newDatasetStore(cfg.MaxDatasets, cfg.MaxDatasetBytes),
 		results: newLRU[[]byte](cfg.CacheSize, cfg.CacheBytes),
 		flights: newFlightGroup(),
 		sem:     make(chan struct{}, cfg.MaxInflight),
 		start:   time.Now(),
+	}
+	if cfg.DataDir != "" {
+		disk, err := persist.OpenDatasets(filepath.Join(cfg.DataDir, "datasets"),
+			cfg.MaxDatasets, cfg.MaxDatasetBytes, cfg.Logger)
+		if err != nil {
+			return nil, err
+		}
+		s.disk = disk
+	}
+	s.store = newDatasetStore(cfg.MaxDatasets, cfg.MaxDatasetBytes, s.disk)
+	if cfg.CacheSnapshot != "" {
+		s.snapPath = cfg.CacheSnapshot
+		s.restoreSnapshot()
+		s.stopSnap = make(chan struct{})
+		s.snapDone = make(chan struct{})
+		go s.snapshotLoop(cfg.CacheSnapshotEvery)
+	}
+	return s, nil
+}
+
+// restoreSnapshot refills the result cache from the snapshot file, if
+// any. A damaged snapshot is logged and counted, and the cache starts
+// cold — a restart must never crash or serve a partial restore.
+func (s *Server) restoreSnapshot() {
+	entries, err := persist.ReadSnapshot(s.snapPath)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return // first boot: nothing to restore
+		}
+		s.snapLoadErrors.Add(1)
+		s.log.Warn("cache snapshot unusable, starting cold", "path", s.snapPath, "err", err)
+		return
+	}
+	for _, e := range entries {
+		s.results.Put(e.Key, e.Value, int64(len(e.Value)))
+	}
+	if info, err := os.Stat(s.snapPath); err == nil {
+		s.lastSnap.Store(info.ModTime().Unix())
+	}
+	// The on-disk snapshot already matches this state; don't rewrite it
+	// until the cache actually changes again.
+	s.lastSnapGen.Store(s.results.Gen())
+	s.log.Info("restored cache snapshot", "path", s.snapPath, "entries", len(entries))
+}
+
+// writeSnapshot dumps the result cache to the snapshot file, skipping
+// the write when the cache content is unchanged since the last
+// snapshot (an idle daemon must not rewrite a large snapshot forever).
+func (s *Server) writeSnapshot() {
+	gen := s.results.Gen()
+	if gen == s.lastSnapGen.Load() && s.lastSnap.Load() > 0 {
+		return
+	}
+	var entries []persist.Entry
+	s.results.Each(func(key string, val []byte, size int64) {
+		entries = append(entries, persist.Entry{Key: key, Value: val})
+	})
+	if err := persist.WriteSnapshot(s.snapPath, entries); err != nil {
+		s.log.Error("writing cache snapshot", "path", s.snapPath, "err", err)
+		return
+	}
+	s.lastSnap.Store(time.Now().Unix())
+	s.lastSnapGen.Store(gen)
+}
+
+// snapshotLoop periodically snapshots the result cache until Close.
+func (s *Server) snapshotLoop(every time.Duration) {
+	defer close(s.snapDone)
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			s.writeSnapshot()
+		case <-s.stopSnap:
+			return
+		}
+	}
+}
+
+// Close stops the snapshot loop and writes a final snapshot, so a
+// graceful shutdown preserves the whole warm cache. It is idempotent
+// and a no-op for in-memory-only servers.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		if s.stopSnap == nil {
+			return
+		}
+		close(s.stopSnap)
+		<-s.snapDone
+		s.writeSnapshot()
+	})
+}
+
+// persistStats summarizes the durable-state layer for /healthz; nil
+// when the server is in-memory only (the default).
+func (s *Server) persistStats() map[string]any {
+	if s.disk == nil && s.snapPath == "" {
+		return nil
+	}
+	loadErrors := s.snapLoadErrors.Load()
+	var onDisk int
+	var diskBytes int64
+	if s.disk != nil {
+		onDisk, diskBytes = s.disk.Len(), s.disk.Bytes()
+		loadErrors += s.disk.LoadErrors()
+	}
+	age := int64(-1)
+	if t := s.lastSnap.Load(); t > 0 {
+		age = max(0, int64(time.Since(time.Unix(t, 0)).Seconds()))
+	}
+	return map[string]any{
+		"datasets_on_disk":     onDisk,
+		"dataset_disk_bytes":   diskBytes,
+		"snapshot_age_seconds": age,
+		"load_errors":          loadErrors,
 	}
 }
 

@@ -2,59 +2,105 @@
 # Benchmark the parallel subsystem and record the results as JSON.
 #
 # Runs BenchmarkGroupEngineParallel and BenchmarkSelectParallel (each at
-# workers=1 and workers=GOMAXPROCS) and writes BENCH_parallel.json at
-# the repo root: one object per benchmark line plus a speedup summary
-# per benchmark family. Used by the CI bench job and runnable locally:
+# workers=1 and workers=GOMAXPROCS) with BENCHTIME iterations per rep
+# (default 5x) and COUNT repetitions (default 3), and writes
+# BENCH_parallel.json at the repo root: per benchmark the min and
+# median ns/op across reps, plus a median-based speedup summary per
+# benchmark family. A single 1x pass is noise; min/median over
+# repetitions is what makes cross-run comparisons meaningful.
 #
-#   ./scripts/bench.sh            # quick: -benchtime 1x
-#   BENCHTIME=5x ./scripts/bench.sh
+# The script exits non-zero when any speedup measured at
+# workers=GOMAXPROCS falls below MIN_SPEEDUP (default 0.9), so a
+# parallelism regression fails the CI bench job instead of shipping as
+# a quietly slower pool. On a single-core runner (GOMAXPROCS=1) the
+# many-worker run is oversubscribed by design and the gate is skipped.
+#
+#   ./scripts/bench.sh
+#   BENCHTIME=20x COUNT=5 ./scripts/bench.sh
+#   MIN_SPEEDUP=0 ./scripts/bench.sh     # record numbers, never fail
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-benchtime="${BENCHTIME:-1x}"
+benchtime="${BENCHTIME:-5x}"
+count="${COUNT:-3}"
+min_speedup="${MIN_SPEEDUP:-0.9}"
 out="${BENCH_OUT:-BENCH_parallel.json}"
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
 go test -run '^$' -bench 'BenchmarkGroupEngineParallel|BenchmarkSelectParallel' \
-  -benchtime "$benchtime" -count 1 . | tee "$raw"
+  -benchtime "$benchtime" -count "$count" . | tee "$raw"
 
-awk -v benchtime="$benchtime" '
+awk -v benchtime="$benchtime" -v count="$count" -v min_speedup="$min_speedup" '
+  BEGIN { gomaxprocs = 1 }              # go test omits the -N suffix when GOMAXPROCS=1
   /^Benchmark/ && /ns\/op/ {
     name = $1
-    iters = $2
-    ns = $3
-    sub(/-[0-9]+$/, "", name)   # strip the -GOMAXPROCS suffix
+    ns = $3 + 0
+    if (match(name, /-[0-9]+$/))        # trailing -N is GOMAXPROCS
+      gomaxprocs = substr(name, RSTART + 1)
+    sub(/-[0-9]+$/, "", name)
     n = split(name, parts, "/")
     family = parts[1]
     workers = parts[n]
     sub(/^workers=/, "", workers)
-    results[++count] = sprintf("{\"name\":\"%s\",\"workers\":%s,\"iterations\":%s,\"ns_per_op\":%s}", name, workers, iters, ns)
-    ns_by[family "|" workers] = ns
-    fams[family] = 1
+    reps[name]++
+    samples[name "|" reps[name]] = ns
+    fam_of[name] = family
+    workers_of[name] = workers
+    if (!(name in seen)) { order[++nkeys] = name; seen[name] = 1 }
+  }
+  # med/minv compute the median/min ns/op across the reps of one line.
+  function med(key,   m, i, j, v, arr) {
+    m = reps[key]
+    for (i = 1; i <= m; i++) arr[i] = samples[key "|" i]
+    for (i = 2; i <= m; i++) {
+      v = arr[i]
+      for (j = i - 1; j >= 1 && arr[j] > v; j--) arr[j + 1] = arr[j]
+      arr[j + 1] = v
+    }
+    if (m % 2) return arr[(m + 1) / 2]
+    return (arr[m / 2] + arr[m / 2 + 1]) / 2
+  }
+  function minv(key,   m, i, mv) {
+    m = reps[key]
+    mv = samples[key "|" 1]
+    for (i = 2; i <= m; i++) if (samples[key "|" i] < mv) mv = samples[key "|" i]
+    return mv
   }
   END {
-    printf "{\n  \"benchtime\": \"%s\",\n  \"results\": [", benchtime
-    for (i = 1; i <= count; i++) printf "%s\n    %s", (i > 1 ? "," : ""), results[i]
-    printf "\n  ],\n  \"speedup\": {"
+    printf "{\n  \"benchtime\": \"%s\",\n  \"count\": %d,\n  \"gomaxprocs\": %s,\n  \"results\": [", benchtime, count, gomaxprocs
+    for (i = 1; i <= nkeys; i++) {
+      key = order[i]
+      printf "%s\n    {\"name\":\"%s\",\"workers\":%s,\"reps\":%d,\"ns_per_op_min\":%.0f,\"ns_per_op_median\":%.0f}", \
+        (i > 1 ? "," : ""), key, workers_of[key], reps[key], minv(key), med(key)
+    }
+    for (i = 1; i <= nkeys; i++) {
+      key = order[i]
+      f = fam_of[key]
+      if (workers_of[key] == 1) base[f] = med(key)
+      else { many[f] = med(key); manyw[f] = workers_of[key] }
+      if (!(f in famseen)) { forder[++nf] = f; famseen[f] = 1 }
+    }
+    printf "\n  ],\n  \"speedup_basis\": \"median\",\n  \"speedup\": {"
     first = 1
-    for (f in fams) {
-      base = ""
-      best = ""
-      for (key in ns_by) {
-        split(key, kp, "|")
-        if (kp[1] != f) continue
-        if (kp[2] == "1") base = ns_by[key]
-        else best = ns_by[key]
-      }
-      if (base != "" && best != "" && best + 0 > 0) {
-        printf "%s\n    \"%s\": %.3f", (first ? "" : ","), f, base / best
-        first = 0
-      }
+    for (i = 1; i <= nf; i++) {
+      f = forder[i]
+      if (!(f in base) || !(f in many) || many[f] <= 0) continue
+      sp = base[f] / many[f]
+      printf "%s\n    \"%s\": %.3f", (first ? "" : ","), f, sp
+      first = 0
+      if (min_speedup + 0 > 0 && manyw[f] == gomaxprocs && sp < min_speedup + 0)
+        failmsg[++nfail] = sprintf("%s: %.3fx at workers=%s (floor %s)", f, sp, manyw[f], min_speedup)
     }
     printf "\n  }\n}\n"
+    for (i = 1; i <= nfail; i++) print "SPEEDUP-FAIL " failmsg[i] > "/dev/stderr"
+    if (nfail > 0) exit 1
   }
-' "$raw" > "$out"
+' "$raw" > "$out" || {
+  echo "wrote $out (parallel speedup below floor $min_speedup):" >&2
+  cat "$out" >&2
+  exit 1
+}
 
 echo "wrote $out:"
 cat "$out"
