@@ -1,0 +1,42 @@
+package dist
+
+import (
+	"testing"
+
+	"github.com/factcheck/cleansel/internal/rng"
+)
+
+// BenchmarkWeightedSumWide convolves a reach≈1e12 integer workload —
+// eight 4-point integer supports around 1e11 — on the exact integer
+// grid (the scale-aware regime the fixed 1e-9 grid used to reject).
+// scripts/bench.sh records it into BENCH_parallel.json so regressions
+// in the wide-magnitude hot path are visible next to the parallel
+// numbers.
+func BenchmarkWeightedSumWide(b *testing.B) {
+	r := rng.New(7)
+	const nParts = 8
+	parts := make([]*Discrete, nParts)
+	weights := make([]float64, nParts)
+	for i := range parts {
+		vals := make([]float64, 4)
+		for j := range vals {
+			vals[j] = float64(r.IntRange(-1000, 1001)) * 1e8
+		}
+		parts[i] = UniformOver(vals)
+		weights[i] = float64(r.IntRange(1, 3))
+	}
+	g, reach, err := ConvGrid(12345, weights, parts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if reach < 1e11 || g.IsDefault() {
+		b.Fatalf("workload not wide: reach %v, scale %v", reach, g.Scale())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := WeightedSum(12345, weights, parts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

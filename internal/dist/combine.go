@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 
 	"github.com/factcheck/cleansel/internal/numeric"
 )
@@ -12,8 +11,14 @@ import (
 // Mixture pools conflicting source laws for one object into the
 // credibility-weighted opinion pool Σ_k w̄_k·p_k(v) with w̄ = w/Σw (the
 // §2.1 discussion of merging source reports). Weights must be
-// non-negative with positive total. Atoms that are exactly equal across
-// sources merge; the pooled support comes out sorted ascending.
+// non-negative with positive total. Atoms that collide on the pooling
+// grid merge — the same regime ladder WeightedSum convolves on (legacy
+// 1e-9 grid inside ±1e8, exact dyadic grid for integral/dyadic atoms,
+// relative quantization otherwise; see poolGrid), so two sources
+// reporting the same quantity up to round-off pool into one atom
+// instead of two spuriously distinct ones. Each merged atom keeps the
+// first exact value seen; the pooled support comes out sorted
+// ascending.
 func Mixture(dists []*Discrete, weights []float64) (*Discrete, error) {
 	if len(dists) == 0 {
 		return nil, errors.New("dist: Mixture needs at least one component")
@@ -34,66 +39,63 @@ func Mixture(dists []*Discrete, weights []float64) (*Discrete, error) {
 	if wsum.Value() <= 0 {
 		return nil, errors.New("dist: Mixture weights sum to zero")
 	}
-	pooled := map[float64]float64{}
+	grid := poolGrid(dists, weights)
+	pooled := map[int64]float64{}
+	vals := map[int64]float64{}
 	for k, d := range dists {
 		if weights[k] == 0 {
 			continue
 		}
 		for j, v := range d.Values {
-			pooled[v] += weights[k] * d.Probs[j]
+			key := grid.Key(v)
+			if _, seen := vals[key]; !seen {
+				vals[key] = v
+			}
+			pooled[key] += weights[k] * d.Probs[j]
 		}
 	}
-	values, probs := sortedAtoms(pooled)
+	keys := numeric.SortedKeys(pooled)
+	values := make([]float64, len(keys))
+	probs := make([]float64, len(keys))
+	for i, k := range keys {
+		values[i] = vals[k]
+		probs[i] = pooled[k]
+	}
 	return NewDiscrete(values, probs)
 }
 
 // WeightedSum returns the exact law of D = offset + Σ_i weights[i]·X_i
 // for independent discrete X_i — the drop variable of Eq. (2), built by
-// support convolution. Sums that collide within 1e-9 merge (the same
-// quantization the entropy engine uses), which keeps the state space at
-// the number of distinct outcomes rather than the raw product. Callers
-// bound the product of support sizes beforehand; see
-// maxpr.DiscreteAffine.
+// support convolution. Sums that collide on the quantization grid merge,
+// which keeps the state space at the number of distinct outcomes rather
+// than the raw product. Callers bound the product of support sizes
+// beforehand; see maxpr.DiscreteAffine.
 //
-// The quantization grid is only exact while every reachable sum stays
-// inside ±numeric.QuantizeMaxAbs (≈1e8): beyond that the float64
-// spacing overtakes the 1e-9 resolution and distinct outcomes can
-// silently merge. WeightedSum bounds the reachable magnitude up front
-// (|offset| + Σ|wᵢ|·max|Xᵢ|) and returns a descriptive error instead
-// of a degraded law when the bound is exceeded — rescale the claim or
-// the data (the law of c·D determines the law of D exactly).
+// The grid is chosen per convolution from the reachable magnitude
+// |offset| + Σ|wᵢ|·max|Xᵢ| (see ConvGrid):
+//
+//   - reach ≤ numeric.QuantizeMaxAbs: the legacy fixed 1e-9 grid,
+//     bit-identical with every result the library ever produced there;
+//   - integral supports (or integral after scaling by a common
+//     power-of-two denominator) with reach·scale ≤ 2^53: an exact
+//     integer grid — zero rounding at any magnitude, so integer-count
+//     datasets in the 1e9..1e15 range convolve exactly;
+//   - everything else: relative quantization on the finest power-of-ten
+//     grid whose keys fit ±numeric.GridKeyMax, pinning the relative
+//     resolution at the top of the range to ~1e-15 — at the round-off
+//     float64 arithmetic itself accumulates.
+//
+// Merged outcomes keep the first exact sum seen, so the grid never
+// perturbs a support value by more than one resolution. The only
+// magnitude WeightedSum still rejects is a reach that overflows float64
+// entirely.
 func WeightedSum(offset float64, weights []float64, parts []*Discrete) (*Discrete, error) {
-	if len(weights) != len(parts) {
-		return nil, fmt.Errorf("dist: %d weights vs %d parts", len(weights), len(parts))
+	grid, _, err := ConvGrid(offset, weights, parts)
+	if err != nil {
+		return nil, err
 	}
-	if math.IsNaN(offset) || math.IsInf(offset, 0) {
-		return nil, fmt.Errorf("dist: offset %v must be finite", offset)
-	}
-	reach := math.Abs(offset)
-	for i, w := range weights {
-		if parts[i] == nil {
-			return nil, fmt.Errorf("dist: part %d is nil", i)
-		}
-		if math.IsNaN(w) || math.IsInf(w, 0) {
-			return nil, fmt.Errorf("dist: weight %d is %v", i, w)
-		}
-		var maxAbs float64
-		for _, v := range parts[i].Values {
-			if a := math.Abs(v); a > maxAbs {
-				maxAbs = a
-			}
-		}
-		reach += math.Abs(w) * maxAbs
-	}
-	if reach > numeric.QuantizeMaxAbs {
-		return nil, fmt.Errorf(
-			"dist: WeightedSum reachable magnitude %.3g exceeds the quantization grid's exact range ±%g; rescale the weights or supports (e.g. convolve c·X for small c) to stay within it",
-			reach, float64(numeric.QuantizeMaxAbs))
-	}
-	// vals keeps the first exact sum seen for each quantized key so the
-	// grid never perturbs a support value by more than one round-off.
-	probs := map[int64]float64{numeric.QuantizeKey(offset): 1}
-	vals := map[int64]float64{numeric.QuantizeKey(offset): offset}
+	probs := map[int64]float64{grid.Key(offset): 1}
+	vals := map[int64]float64{grid.Key(offset): offset}
 	for i, part := range parts {
 		if weights[i] == 0 {
 			continue
@@ -104,7 +106,7 @@ func WeightedSum(offset float64, weights []float64, parts []*Discrete) (*Discret
 			base := vals[key]
 			for j, v := range part.Values {
 				s := base + weights[i]*v
-				k := numeric.QuantizeKey(s)
+				k := grid.Key(s)
 				if _, seen := nextVals[k]; !seen {
 					nextVals[k] = s
 				}
@@ -121,6 +123,147 @@ func WeightedSum(offset float64, weights []float64, parts []*Discrete) (*Discret
 		ps[i] = probs[k]
 	}
 	return NewDiscrete(values, ps)
+}
+
+// poolGrid chooses Mixture's pooling grid with the same regime ladder
+// as ConvGrid, over the pooled atoms themselves (pooling never scales a
+// value, so there are no weight products to consider): the legacy grid
+// inside ±QuantizeMaxAbs, the exact dyadic grid when every atom is
+// integral after a common power-of-two scaling, and relative
+// quantization otherwise.
+func poolGrid(dists []*Discrete, weights []float64) numeric.Grid {
+	var reach float64
+	for k, d := range dists {
+		if weights[k] == 0 {
+			continue
+		}
+		for _, v := range d.Values {
+			if a := math.Abs(v); a > reach {
+				reach = a
+			}
+		}
+	}
+	if reach <= numeric.QuantizeMaxAbs {
+		return numeric.DefaultGrid()
+	}
+	shift := 0
+	for k, d := range dists {
+		if weights[k] == 0 {
+			continue
+		}
+		for _, v := range d.Values {
+			s, ok := dyadicShift(v)
+			if !ok {
+				return numeric.GridFor(reach)
+			}
+			if s > shift {
+				shift = s
+			}
+		}
+	}
+	scale := float64(int64(1) << shift)
+	if reach*scale > maxExactInt {
+		return numeric.GridFor(reach)
+	}
+	return numeric.ExactGrid(scale)
+}
+
+// maxDyadicShift bounds the common-denominator search of the exact
+// integer path: supports integral after scaling by 2^k for some
+// k ≤ maxDyadicShift (denominators up to 4096 — halves, quarters,
+// dyadic rates) qualify. Scaling a float by a power of two is lossless,
+// which is what makes the detected path provably exact.
+const maxDyadicShift = 12
+
+// maxExactInt is the largest magnitude at which float64 represents every
+// integer exactly (2^53); integer-grid convolutions are exact while
+// reach·scale stays within it.
+const maxExactInt = 1 << 53
+
+// ConvGrid validates the inputs and returns the quantization grid
+// WeightedSum will convolve on, together with the reachable magnitude
+// |offset| + Σ|wᵢ|·max|Xᵢ| the choice was derived from. Exposed so tests
+// and diagnostics can reason about the resolution a given workload gets.
+func ConvGrid(offset float64, weights []float64, parts []*Discrete) (numeric.Grid, float64, error) {
+	if len(weights) != len(parts) {
+		return numeric.Grid{}, 0, fmt.Errorf("dist: %d weights vs %d parts", len(weights), len(parts))
+	}
+	if math.IsNaN(offset) || math.IsInf(offset, 0) {
+		return numeric.Grid{}, 0, fmt.Errorf("dist: offset %v must be finite", offset)
+	}
+	reach := math.Abs(offset)
+	for i, w := range weights {
+		if parts[i] == nil {
+			return numeric.Grid{}, 0, fmt.Errorf("dist: part %d is nil", i)
+		}
+		if math.IsNaN(w) || math.IsInf(w, 0) {
+			return numeric.Grid{}, 0, fmt.Errorf("dist: weight %d is %v", i, w)
+		}
+		var maxAbs float64
+		for _, v := range parts[i].Values {
+			if a := math.Abs(v); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		reach += math.Abs(w) * maxAbs
+	}
+	if math.IsInf(reach, 0) {
+		return numeric.Grid{}, 0, fmt.Errorf(
+			"dist: WeightedSum reachable magnitude overflows float64; rescale the weights or supports (the law of c·D determines the law of D exactly)")
+	}
+	if reach <= numeric.QuantizeMaxAbs {
+		// The historical regime: every figure ever produced used this
+		// grid, and within the bound it is exact — keep it bit-identical.
+		return numeric.DefaultGrid(), reach, nil
+	}
+	if scale, ok := exactPow2Scale(offset, reach, weights, parts); ok {
+		return numeric.ExactGrid(scale), reach, nil
+	}
+	return numeric.GridFor(reach), reach, nil
+}
+
+// exactPow2Scale looks for the smallest power-of-two scale making the
+// offset and every weighted support value integral, so the convolution
+// can run on an exact integer grid. The products weights[i]·v are tested
+// because those are the exact terms the convolution adds.
+func exactPow2Scale(offset, reach float64, weights []float64, parts []*Discrete) (float64, bool) {
+	shift, ok := dyadicShift(offset)
+	if !ok {
+		return 0, false
+	}
+	for i, w := range weights {
+		if w == 0 {
+			continue
+		}
+		for _, v := range parts[i].Values {
+			s, ok := dyadicShift(w * v)
+			if !ok {
+				return 0, false
+			}
+			if s > shift {
+				shift = s
+			}
+		}
+	}
+	scale := float64(int64(1) << shift)
+	if reach*scale > maxExactInt {
+		return 0, false
+	}
+	return scale, true
+}
+
+// dyadicShift returns the smallest k ≤ maxDyadicShift with x·2^k
+// integral. Multiplying by 2^k only adjusts the exponent, so the test is
+// exact.
+func dyadicShift(x float64) (int, bool) {
+	s := 1.0
+	for k := 0; k <= maxDyadicShift; k++ {
+		if xs := x * s; math.Trunc(xs) == xs {
+			return k, true
+		}
+		s *= 2
+	}
+	return 0, false
 }
 
 // FuseNormals resolves independent normal reports of the same quantity
@@ -170,19 +313,4 @@ func FuseNormals(reports []Normal) (Normal, error) {
 		Mu:    weighted.Value() / lambda.Value(),
 		Sigma: math.Sqrt(1 / lambda.Value()),
 	}, nil
-}
-
-// sortedAtoms flattens an atom→mass map into parallel slices sorted by
-// value ascending.
-func sortedAtoms(m map[float64]float64) (values, probs []float64) {
-	values = make([]float64, 0, len(m))
-	for v := range m {
-		values = append(values, v)
-	}
-	sort.Float64s(values)
-	probs = make([]float64, len(values))
-	for i, v := range values {
-		probs[i] = m[v]
-	}
-	return values, probs
 }

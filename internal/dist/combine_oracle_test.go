@@ -1,0 +1,254 @@
+package dist
+
+import (
+	"math"
+	"math/big"
+	"testing"
+
+	"github.com/factcheck/cleansel/internal/dist/oracle"
+	"github.com/factcheck/cleansel/internal/rng"
+)
+
+// oracleParts converts parts to the value/prob slices the oracle takes.
+func oracleParts(parts []*Discrete) (values, probs [][]float64) {
+	for _, p := range parts {
+		values = append(values, p.Values)
+		probs = append(probs, p.Probs)
+	}
+	return values, probs
+}
+
+// assertAtomsExact requires d to equal the oracle law bit for bit: same
+// support length, and every value and probability exactly the rational
+// the oracle computed.
+func assertAtomsExact(t *testing.T, d *Discrete, want []oracle.Atom) {
+	t.Helper()
+	if d.Size() != len(want) {
+		t.Fatalf("support size %d, oracle has %d atoms", d.Size(), len(want))
+	}
+	for i := range want {
+		if new(big.Rat).SetFloat64(d.Values[i]).Cmp(want[i].Value) != 0 {
+			t.Fatalf("atom %d value %v != oracle %v", i, d.Values[i], want[i].Value)
+		}
+		if new(big.Rat).SetFloat64(d.Probs[i]).Cmp(want[i].Prob) != 0 {
+			t.Fatalf("atom %d prob %v != oracle %v", i, d.Probs[i], want[i].Prob)
+		}
+	}
+}
+
+// TestWeightedSumMatchesOracleExactIntegerWide is the acceptance
+// property of the integer fast path: randomized integer supports with
+// reachable magnitudes around 1e12 — far beyond the old ±1e8 grid
+// ceiling — convolve with zero rounding, so every atom matches the
+// big.Rat oracle exactly. Support sizes are powers of two so the
+// uniform masses are dyadic and the probability arithmetic is exact
+// end to end.
+func TestWeightedSumMatchesOracleExactIntegerWide(t *testing.T) {
+	r := rng.New(0x1dead)
+	for trial := 0; trial < 60; trial++ {
+		nParts := 1 + r.Intn(4)
+		parts := make([]*Discrete, nParts)
+		weights := make([]float64, nParts)
+		for i := range parts {
+			size := 2 << r.Intn(2) // 2 or 4
+			vals := make([]float64, size)
+			for j := range vals {
+				vals[j] = float64(r.IntRange(-1000, 1000))*1e9 + float64(r.IntRange(-1e6, 1e6))
+			}
+			parts[i] = UniformOver(vals)
+			weights[i] = float64(r.IntRange(-3, 4))
+		}
+		offset := float64(r.IntRange(-1000, 1000)) * 1e9
+		d, err := WeightedSum(offset, weights, parts)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		ov, op := oracleParts(parts)
+		assertAtomsExact(t, d, oracle.WeightedSum(offset, weights, ov, op))
+	}
+}
+
+// TestWeightedSumMatchesOracleDyadicWide extends the exact property to
+// supports that are integral only after scaling by a power of two
+// (quarters at 1e11), exercising the detected-common-denominator path.
+func TestWeightedSumMatchesOracleDyadicWide(t *testing.T) {
+	r := rng.New(0x9a7c)
+	for trial := 0; trial < 40; trial++ {
+		nParts := 1 + r.Intn(3)
+		parts := make([]*Discrete, nParts)
+		weights := make([]float64, nParts)
+		for i := range parts {
+			vals := make([]float64, 2)
+			for j := range vals {
+				vals[j] = float64(r.IntRange(-4e5, 4e5))*1e6 + float64(r.IntRange(-64, 64))/4
+			}
+			parts[i] = UniformOver(vals)
+			weights[i] = float64(r.IntRange(1, 3)) / 2 // 0.5 or 1
+		}
+		d, err := WeightedSum(0.25, weights, parts)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		g, _, err := ConvGrid(0.25, weights, parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, frac := math.Modf(math.Log2(g.Scale())); frac != 0 || g.Scale() > 4096 || g.IsDefault() {
+			t.Fatalf("trial %d: expected a dyadic exact grid, got scale %v", trial, g.Scale())
+		}
+		ov, op := oracleParts(parts)
+		assertAtomsExact(t, d, oracle.WeightedSum(0.25, weights, ov, op))
+	}
+}
+
+// assertLawClose checks d against the oracle law where float round-off
+// is in play: total mass, mean, and the CDF at every midpoint between
+// well-separated oracle atoms (where quantization cannot move mass
+// across the query point).
+func assertLawClose(t *testing.T, d *Discrete, want []oracle.Atom, res float64, reach float64) {
+	t.Helper()
+	var mass float64
+	for _, p := range d.Probs {
+		mass += p
+	}
+	if math.Abs(mass-1) > 1e-9 {
+		t.Fatalf("total mass %v", mass)
+	}
+	wantMean, _ := oracle.Mean(want).Float64()
+	meanTol := 2*res + 1e-12*math.Abs(reach) + 1e-12
+	if math.Abs(d.Mean()-wantMean) > meanTol {
+		t.Fatalf("mean %v, oracle %v (tol %v)", d.Mean(), wantMean, meanTol)
+	}
+	for i := 1; i < len(want); i++ {
+		lo, _ := want[i-1].Value.Float64()
+		hi, _ := want[i].Value.Float64()
+		if hi-lo < 20*res {
+			continue
+		}
+		mid := lo + (hi-lo)/2
+		got := d.PrBelow(mid)
+		exact, _ := oracle.PrBelow(want, new(big.Rat).SetFloat64(mid)).Float64()
+		if math.Abs(got-exact) > 1e-9 {
+			t.Fatalf("PrBelow(%v) = %v, oracle %v", mid, got, exact)
+		}
+	}
+}
+
+// TestWeightedSumMatchesOracleLegacyRegime checks the unchanged ≤1e8
+// regime against the oracle: arbitrary float weights and supports, so
+// the comparison is CDF/mean-based with round-off tolerances.
+func TestWeightedSumMatchesOracleLegacyRegime(t *testing.T) {
+	r := rng.New(0x1e9acc)
+	for trial := 0; trial < 60; trial++ {
+		nParts := 1 + r.Intn(3)
+		parts := make([]*Discrete, nParts)
+		weights := make([]float64, nParts)
+		for i := range parts {
+			size := 2 + r.Intn(3)
+			vals := make([]float64, size)
+			for j := range vals {
+				vals[j] = r.Uniform(-1e3, 1e3)
+			}
+			parts[i] = UniformOver(vals)
+			weights[i] = r.Uniform(-2, 2)
+		}
+		offset := r.Uniform(-10, 10)
+		g, reach, err := ConvGrid(offset, weights, parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g.IsDefault() {
+			t.Fatalf("trial %d: legacy workload left the 1e-9 grid", trial)
+		}
+		d, err := WeightedSum(offset, weights, parts)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		ov, op := oracleParts(parts)
+		assertLawClose(t, d, oracle.WeightedSum(offset, weights, ov, op), g.Resolution(), reach)
+	}
+}
+
+// TestWeightedSumMatchesOracleRelativeGridWide drives the third regime:
+// non-integral supports with reach ≈ 1e12 land on the relative
+// power-of-ten grid, and the law still tracks the oracle through the
+// CDF and the mean at the grid's resolution.
+func TestWeightedSumMatchesOracleRelativeGridWide(t *testing.T) {
+	r := rng.New(0x51de)
+	for trial := 0; trial < 40; trial++ {
+		nParts := 1 + r.Intn(3)
+		parts := make([]*Discrete, nParts)
+		weights := make([]float64, nParts)
+		for i := range parts {
+			size := 2 + r.Intn(3)
+			vals := make([]float64, size)
+			for j := range vals {
+				vals[j] = float64(r.IntRange(-1000, 1000))*1e9 + r.Uniform(-1, 1)
+			}
+			parts[i] = UniformOver(vals)
+			weights[i] = r.Uniform(0.5, 2)
+		}
+		offset := r.Uniform(-10, 10)
+		g, reach, err := ConvGrid(offset, weights, parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reach <= 1e8 {
+			continue // weights drew tiny; not the regime under test
+		}
+		if g.IsDefault() {
+			t.Fatalf("trial %d: wide workload stayed on the legacy grid (reach %v)", trial, reach)
+		}
+		d, err := WeightedSum(offset, weights, parts)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		ov, op := oracleParts(parts)
+		assertLawClose(t, d, oracle.WeightedSum(offset, weights, ov, op), g.Resolution(), reach)
+	}
+}
+
+// TestMixtureMatchesOracle pools randomized components and checks the
+// result against the exact opinion pool.
+func TestMixtureMatchesOracle(t *testing.T) {
+	r := rng.New(0x3134)
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + r.Intn(3)
+		comps := make([]*Discrete, n)
+		weights := make([]float64, n)
+		values := make([][]float64, n)
+		probs := make([][]float64, n)
+		for k := range comps {
+			size := 2 << r.Intn(2)
+			vals := make([]float64, size)
+			for j := range vals {
+				vals[j] = float64(r.IntRange(-1e6, 1e6))
+			}
+			comps[k] = UniformOver(vals)
+			weights[k] = float64(int(1) << r.Intn(3)) // 1, 2, or 4: dyadic pool
+			values[k] = comps[k].Values
+			probs[k] = comps[k].Probs
+		}
+		m, err := Mixture(comps, weights)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want := oracle.Mixture(values, probs, weights)
+		// Total pooled weight is a power-of-two sum (≤ 12), so the
+		// normalization may divide by a non-dyadic total; compare with a
+		// tiny tolerance instead of exactly.
+		if m.Size() != len(want) {
+			t.Fatalf("trial %d: %d atoms, oracle %d", trial, m.Size(), len(want))
+		}
+		for i := range want {
+			wv, _ := want[i].Value.Float64()
+			wp, _ := want[i].Prob.Float64()
+			if m.Values[i] != wv {
+				t.Fatalf("trial %d atom %d value %v, oracle %v", trial, i, m.Values[i], wv)
+			}
+			if math.Abs(m.Probs[i]-wp) > 1e-15 {
+				t.Fatalf("trial %d atom %d prob %v, oracle %v", trial, i, m.Probs[i], wp)
+			}
+		}
+	}
+}

@@ -21,7 +21,12 @@
 // credibility-weighted opinion pool, WeightedSum convolves the exact
 // law of offset + Σ w_i·X_i (the "drop" variable of Eq. (2)), and
 // FuseNormals resolves independent Gaussian reports of one quantity by
-// precision weighting.
+// precision weighting. Mixture and WeightedSum merge colliding
+// outcomes on a shared scale-aware quantization grid (numeric.Grid):
+// the legacy 1e-9 grid inside ±1e8, an exact integer grid for
+// integral/dyadic supports at any magnitude, and relative quantization
+// beyond — see ConvGrid and the big.Rat reference implementation in
+// the nested oracle package.
 //
 // Sampling is deterministic given an rng.RNG stream: Discrete samples
 // by inverse CDF and Normal draws from the generator's Box-Muller

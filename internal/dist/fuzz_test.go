@@ -1,0 +1,140 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"github.com/factcheck/cleansel/internal/rng"
+)
+
+// fuzzSupport derives a small support from a seeded stream: sizes 2–5,
+// magnitudes up to mag, optionally rounded to integers.
+func fuzzSupport(r *rng.RNG, mag float64, integral bool) *Discrete {
+	size := 2 + r.Intn(4)
+	vals := make([]float64, size)
+	for j := range vals {
+		v := r.Uniform(-mag, mag)
+		if integral {
+			v = math.Round(v)
+		}
+		vals[j] = v
+	}
+	probs := make([]float64, size)
+	for j := range probs {
+		probs[j] = r.Uniform(0.1, 1)
+	}
+	d, err := NewDiscrete(vals, probs)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// checkLaw asserts the structural invariants every WeightedSum/Mixture
+// result must satisfy: finite ascending support, probabilities in [0, 1]
+// summing to one.
+func checkLaw(t *testing.T, d *Discrete) {
+	t.Helper()
+	var mass float64
+	for i, v := range d.Values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("atom %d value %v", i, v)
+		}
+		if i > 0 && v < d.Values[i-1] {
+			t.Fatalf("support not ascending at %d: %v after %v", i, v, d.Values[i-1])
+		}
+		p := d.Probs[i]
+		if math.IsNaN(p) || p < 0 || p > 1+1e-12 {
+			t.Fatalf("atom %d prob %v", i, p)
+		}
+		mass += p
+	}
+	if math.Abs(mass-1) > 1e-9 {
+		t.Fatalf("total mass %v", mass)
+	}
+}
+
+// FuzzWeightedSum fuzzes the convolution across all three grid regimes:
+// whatever the magnitudes, a successful convolution must be a valid law
+// whose mean obeys linearity of expectation up to the grid resolution.
+func FuzzWeightedSum(f *testing.F) {
+	f.Add(uint64(1), 0.0, 1.0, -1.0, 100.0, false)
+	f.Add(uint64(2), 5.0, 2.0, 0.5, 1e3, true)
+	f.Add(uint64(3), -1e12, 1.0, 1.0, 1e12, true)  // integer exact regime
+	f.Add(uint64(4), 0.25, 1.5, -0.5, 9e11, false) // relative-grid regime
+	f.Add(uint64(5), 1e8, 1.0, 1.0, 1e8, false)    // straddles the legacy ceiling
+	f.Add(uint64(6), 0.0, 0.0, 0.0, 10.0, false)   // all-zero weights
+	f.Fuzz(func(t *testing.T, seed uint64, offset, w0, w1, mag float64, integral bool) {
+		if math.IsNaN(offset) || math.IsInf(offset, 0) ||
+			math.IsNaN(w0) || math.IsInf(w0, 0) || math.IsNaN(w1) || math.IsInf(w1, 0) ||
+			math.IsNaN(mag) || math.IsInf(mag, 0) {
+			t.Skip()
+		}
+		mag = math.Abs(mag)
+		if mag > 1e14 {
+			t.Skip()
+		}
+		// Keep the reachable magnitude finite so the one legitimate
+		// error path (reach overflowing float64) stays out of scope.
+		if math.Abs(offset) > 1e200 || math.Abs(w0) > 1e200 || math.Abs(w1) > 1e200 {
+			t.Skip()
+		}
+		r := rng.New(seed)
+		parts := []*Discrete{fuzzSupport(r, mag, integral), fuzzSupport(r, mag, integral)}
+		weights := []float64{w0, w1}
+		d, err := WeightedSum(offset, weights, parts)
+		if err != nil {
+			t.Fatalf("finite inputs rejected: %v", err) // only an overflowing reach may error
+		}
+		checkLaw(t, d)
+		g, reach, err := ConvGrid(offset, weights, parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := offset + w0*parts[0].Mean() + w1*parts[1].Mean()
+		tol := 8 * (g.Resolution() + 1e-12*reach + 1e-12)
+		if math.Abs(d.Mean()-want) > tol {
+			t.Fatalf("mean %v, linearity gives %v (tol %v, scale %v)", d.Mean(), want, tol, g.Scale())
+		}
+	})
+}
+
+// FuzzMixture fuzzes the opinion pool: valid pooled law, conserved mean.
+func FuzzMixture(f *testing.F) {
+	f.Add(uint64(1), 1.0, 1.0, 100.0)
+	f.Add(uint64(2), 3.0, 0.0, 1e6)
+	f.Add(uint64(3), 0.5, 2.5, 1e12)
+	f.Add(uint64(4), 1e-6, 1e6, 10.0)
+	f.Fuzz(func(t *testing.T, seed uint64, w0, w1, mag float64) {
+		if math.IsNaN(w0) || math.IsInf(w0, 0) || math.IsNaN(w1) || math.IsInf(w1, 0) ||
+			math.IsNaN(mag) || math.IsInf(mag, 0) {
+			t.Skip()
+		}
+		if w0 < 0 || w1 < 0 || w0+w1 <= 0 || w0 > 1e100 || w1 > 1e100 {
+			t.Skip()
+		}
+		mag = math.Abs(mag)
+		if mag > 1e14 {
+			t.Skip()
+		}
+		r := rng.New(seed)
+		comps := []*Discrete{fuzzSupport(r, mag, false), fuzzSupport(r, mag, false)}
+		m, err := Mixture(comps, []float64{w0, w1})
+		if err != nil {
+			t.Fatalf("valid pool rejected: %v", err)
+		}
+		checkLaw(t, m)
+		wsum := w0 + w1
+		want := (w0/wsum)*comps[0].Mean() + (w1/wsum)*comps[1].Mean()
+		// Pooled atoms keep first-seen values, each within one grid cell
+		// of every atom merged into it.
+		res := 1e-9
+		if mag > 1e8 {
+			res = mag / 1e14
+		}
+		tol := 8*(res+1e-12*mag) + 1e-9
+		if math.Abs(m.Mean()-want) > tol {
+			t.Fatalf("mean %v, pool gives %v (tol %v)", m.Mean(), want, tol)
+		}
+	})
+}

@@ -1,64 +1,138 @@
 package dist
 
 import (
+	"math"
 	"strings"
 	"testing"
 
 	"github.com/factcheck/cleansel/internal/numeric"
 )
 
-// TestWeightedSumGuardsQuantizationGrid pins the grid-overflow guard:
-// supports whose reachable sums exceed ±numeric.QuantizeMaxAbs must be
-// rejected with a descriptive error instead of silently aliasing keys.
-func TestWeightedSumGuardsQuantizationGrid(t *testing.T) {
-	big := UniformOver([]float64{0, 9e9})
-	_, err := WeightedSum(0, []float64{1}, []*Discrete{big})
-	if err == nil {
-		t.Fatal("magnitude 9e9 accepted")
+// TestConvGridRegimes pins which quantization grid WeightedSum chooses:
+// the legacy 1e-9 grid inside ±numeric.QuantizeMaxAbs, the exact integer
+// grid for integral (or dyadic) weighted supports beyond it, and the
+// relative power-of-ten grid for everything else.
+func TestConvGridRegimes(t *testing.T) {
+	small := UniformOver([]float64{0, 1})
+	g, reach, err := ConvGrid(2, []float64{1}, []*Discrete{small})
+	if err != nil {
+		t.Fatal(err)
 	}
-	if !strings.Contains(err.Error(), "quantization grid") {
-		t.Fatalf("error is not descriptive: %v", err)
+	if !g.IsDefault() {
+		t.Fatalf("legacy regime got scale %v, want 1e9", g.Scale())
+	}
+	if reach != 3 {
+		t.Fatalf("reach = %v, want 3", reach)
 	}
 
-	// The bound is on the reachable sum, not individual supports: many
-	// moderate parts can overflow together…
+	// Integer supports at 1e12: exact integer grid (scale 1).
+	big := UniformOver([]float64{0, 1e12})
+	g, _, err = ConvGrid(5, []float64{1}, []*Discrete{big})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Scale() != 1 {
+		t.Fatalf("integer workload got scale %v, want 1", g.Scale())
+	}
+
+	// Quarter-integral supports: dyadic scale 4.
+	dy := UniformOver([]float64{0.25, 2.5e11})
+	g, _, err = ConvGrid(0, []float64{1}, []*Discrete{dy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Scale() != 4 {
+		t.Fatalf("dyadic workload got scale %v, want 4", g.Scale())
+	}
+
+	// Non-integral large magnitudes: relative power-of-ten grid with all
+	// keys inside ±numeric.GridKeyMax.
+	odd := UniformOver([]float64{0.3, 1e12 + 0.3})
+	g, reach, err = ConvGrid(0, []float64{1}, []*Discrete{odd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.IsDefault() || g.Scale() == 1 {
+		t.Fatalf("relative regime got scale %v", g.Scale())
+	}
+	if reach*g.Scale() > numeric.GridKeyMax {
+		t.Fatalf("keys reach %v beyond GridKeyMax", reach*g.Scale())
+	}
+	if reach*g.Scale() < numeric.GridKeyMax/10 {
+		t.Fatalf("grid coarser than necessary: keys only reach %v", reach*g.Scale())
+	}
+
+	// Zero-weight parts do not contribute reach: a huge support with
+	// weight 0 keeps the legacy grid.
+	g, _, err = ConvGrid(0, []float64{0, 1}, []*Discrete{big, small})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsDefault() {
+		t.Fatalf("zero-weight part changed the grid to scale %v", g.Scale())
+	}
+}
+
+// TestWeightedSumLargeMagnitudeSolves pins the headline behavior change:
+// reachable magnitudes beyond the old ±1e8 ceiling convolve instead of
+// erroring, and integer supports do so exactly.
+func TestWeightedSumLargeMagnitudeSolves(t *testing.T) {
+	big := UniformOver([]float64{0, 9e9})
+	d, err := WeightedSum(0, []float64{1}, []*Discrete{big})
+	if err != nil {
+		t.Fatalf("magnitude 9e9 rejected: %v", err)
+	}
+	if d.Size() != 2 || d.Values[0] != 0 || d.Values[1] != 9e9 {
+		t.Fatalf("support = %v", d.Values)
+	}
+
+	// Aggregate reach beyond the old bound through many moderate parts.
 	parts := make([]*Discrete, 20)
 	weights := make([]float64, 20)
 	for i := range parts {
 		parts[i] = UniformOver([]float64{0, 9e6})
 		weights[i] = 1000
 	}
-	if _, err := WeightedSum(0, weights, parts); err == nil {
-		t.Fatal("aggregate overflow accepted")
-	}
-	// …and the offset counts too.
-	small := UniformOver([]float64{0, 1})
-	if _, err := WeightedSum(1.5e8, []float64{1}, []*Discrete{small}); err == nil {
-		t.Fatal("offset overflow accepted")
+	if _, err := WeightedSum(0, weights, parts); err != nil {
+		t.Fatalf("aggregate 1.8e11 rejected: %v", err)
 	}
 
-	// Zero-weight parts do not contribute reach: a huge support with
-	// weight 0 stays legal.
-	if _, err := WeightedSum(0, []float64{0, 1}, []*Discrete{big, small}); err != nil {
-		t.Fatalf("zero-weight part rejected: %v", err)
-	}
-
-	// In-range convolution is untouched.
-	d, err := WeightedSum(2, []float64{1, -1}, []*Discrete{
-		UniformOver([]float64{1e7, 2e7}),
-		UniformOver([]float64{0, 5e6}),
-	})
+	// Exactness at 1e12: D = X0 + X1 − u with integer supports. All
+	// probabilities are dyadic, so every mass below is exact.
+	u := 2e12
+	x0 := UniformOver([]float64{1e12, 1e12 - 4096})
+	x1 := UniformOver([]float64{1e12, 1e12 - 8192})
+	d, err = WeightedSum(-u, []float64{1, 1}, []*Discrete{x0, x1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if d.Size() != 4 {
-		t.Fatalf("support size %d, want 4", d.Size())
+	wantVals := []float64{-12288, -8192, -4096, 0}
+	wantProbs := []float64{0.25, 0.25, 0.25, 0.25}
+	if d.Size() != len(wantVals) {
+		t.Fatalf("support = %v", d.Values)
+	}
+	for i := range wantVals {
+		if d.Values[i] != wantVals[i] || d.Probs[i] != wantProbs[i] {
+			t.Fatalf("atom %d = (%v, %v), want (%v, %v)", i, d.Values[i], d.Probs[i], wantVals[i], wantProbs[i])
+		}
+	}
+	if got := d.PrBelow(-4096); got != 0.5 {
+		t.Fatalf("PrBelow(-4096) = %v, want exactly 0.5", got)
+	}
+
+	// An infinite reach is the one magnitude still rejected.
+	huge := UniformOver([]float64{0, math.MaxFloat64})
+	if _, err := WeightedSum(0, []float64{1, 1}, []*Discrete{huge, huge}); err == nil {
+		t.Fatal("overflowing reach accepted")
+	} else if !strings.Contains(err.Error(), "overflows") {
+		t.Fatalf("error is not descriptive: %v", err)
 	}
 }
 
-// TestWeightedSumBoundaryStillWorks checks magnitudes just inside the
-// ceiling convolve fine.
-func TestWeightedSumBoundaryStillWorks(t *testing.T) {
+// TestWeightedSumLegacyRegimeUnchanged checks magnitudes inside the old
+// ceiling behave exactly as before: the 1e-9 grid merges equal-up-to-
+// round-off sums and keeps the first exact value seen.
+func TestWeightedSumLegacyRegimeUnchanged(t *testing.T) {
 	nearMax := 0.49 * numeric.QuantizeMaxAbs
 	d, err := WeightedSum(0, []float64{1, 1}, []*Discrete{
 		UniformOver([]float64{0, nearMax}),
@@ -72,5 +146,75 @@ func TestWeightedSumBoundaryStillWorks(t *testing.T) {
 	}
 	if got := d.Prob(nearMax); got != 0.5 {
 		t.Fatalf("merged atom mass %v, want 0.5", got)
+	}
+
+	// In-range convolution support arithmetic is untouched.
+	d, err = WeightedSum(2, []float64{1, -1}, []*Discrete{
+		UniformOver([]float64{1e7, 2e7}),
+		UniformOver([]float64{0, 5e6}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Size() != 4 {
+		t.Fatalf("support size %d, want 4", d.Size())
+	}
+}
+
+// TestMixtureGridMerge pins the Mixture/WeightedSum atom-merge
+// unification: atoms within one grid cell pool into a single atom (they
+// formerly pooled only on exact float equality), and the merged atom
+// keeps the first exact value seen.
+func TestMixtureGridMerge(t *testing.T) {
+	a := UniformOver([]float64{1.0, 2.0})
+	b := UniformOver([]float64{1.0 + 1e-12, 3.0})
+	m, err := Mixture([]*Discrete{a, b}, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Size() != 3 {
+		t.Fatalf("support = %v, want the 1e-12-apart atoms merged", m.Values)
+	}
+	if m.Values[0] != 1.0 {
+		t.Fatalf("merged atom value %v, want the first-seen 1.0", m.Values[0])
+	}
+	if got := m.Prob(1.0); got != 0.5 {
+		t.Fatalf("merged atom mass %v, want 0.5", got)
+	}
+
+	// Atoms a full resolution apart stay distinct.
+	c := UniformOver([]float64{1.0 + 1e-6, 3.0})
+	m, err = Mixture([]*Discrete{a, c}, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Size() != 4 {
+		t.Fatalf("support = %v, want 4 distinct atoms", m.Values)
+	}
+
+	// Dyadic atoms at large magnitude pool on the exact grid, so atoms
+	// 1/32 apart at 1e14 stay distinct even though the relative
+	// power-of-ten grid (resolution 0.1 there) would merge them.
+	fine := UniformOver([]float64{1e14, 1e14 + 0.03125})
+	m, err = Mixture([]*Discrete{fine}, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Size() != 2 {
+		t.Fatalf("dyadic atoms at 1e14 merged: support = %v", m.Values)
+	}
+
+	// Large-magnitude mixtures pool on the scale-aware grid instead of
+	// overflowing the fixed one.
+	wide := UniformOver([]float64{1e12, 2e12})
+	m, err = Mixture([]*Discrete{wide, UniformOver([]float64{1e12, 3e12})}, []float64{3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Size() != 3 {
+		t.Fatalf("support = %v", m.Values)
+	}
+	if got := m.Prob(1e12); got != 0.5 {
+		t.Fatalf("pooled mass at 1e12 = %v, want 0.5", got)
 	}
 }

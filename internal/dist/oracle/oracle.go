@@ -1,0 +1,137 @@
+// Package oracle computes reference distributions in exact rational
+// arithmetic (math/big.Rat). It is the verification substrate for the
+// float64 convolution and pooling code in internal/dist: every finite
+// float is a dyadic rational, so converting the exact inputs of a
+// WeightedSum or Mixture call to big.Rat and carrying out the same
+// arithmetic without rounding yields the ground-truth law the float
+// implementation approximates — and, on the exact integer grid, must
+// reproduce bit for bit.
+//
+// The package deliberately does not import internal/dist: it consumes
+// plain value/probability slices, so dist's own tests can compare
+// against it without an import cycle. It is not performance-sensitive;
+// supports in oracle-backed tests stay small.
+package oracle
+
+import (
+	"math/big"
+	"sort"
+)
+
+// Atom is one support point of an exact law.
+type Atom struct {
+	Value *big.Rat
+	Prob  *big.Rat
+}
+
+// WeightedSum returns the exact law of offset + Σ_i weights[i]·X_i for
+// independent X_i, where X_i has support values[i] with (possibly
+// unnormalized) masses probs[i]. Every float input is converted exactly;
+// products and sums are carried out in big.Rat; atoms merge only on
+// exact rational equality; masses are normalized to sum to one at the
+// end. Atoms come out sorted ascending by value. Zero-weight parts are
+// skipped, mirroring dist.WeightedSum.
+func WeightedSum(offset float64, weights []float64, values, probs [][]float64) []Atom {
+	acc := map[string]*Atom{}
+	off := new(big.Rat).SetFloat64(offset)
+	one := big.NewRat(1, 1)
+	acc[off.RatString()] = &Atom{Value: off, Prob: one}
+	for i := range values {
+		w := new(big.Rat).SetFloat64(weights[i])
+		if w.Sign() == 0 {
+			continue
+		}
+		next := map[string]*Atom{}
+		for _, a := range acc {
+			for j, v := range values[i] {
+				term := new(big.Rat).Mul(w, new(big.Rat).SetFloat64(v))
+				sum := new(big.Rat).Add(a.Value, term)
+				p := new(big.Rat).Mul(a.Prob, new(big.Rat).SetFloat64(probs[i][j]))
+				key := sum.RatString()
+				if ex, ok := next[key]; ok {
+					ex.Prob.Add(ex.Prob, p)
+				} else {
+					next[key] = &Atom{Value: sum, Prob: p}
+				}
+			}
+		}
+		acc = next
+	}
+	return normalize(acc)
+}
+
+// Mixture returns the exact credibility-weighted opinion pool
+// Σ_k w̄_k·p_k(v) with w̄ = w/Σw, pooling atoms on exact rational
+// equality and normalizing at the end. Zero-weight components are
+// skipped, mirroring dist.Mixture.
+func Mixture(values, probs [][]float64, weights []float64) []Atom {
+	acc := map[string]*Atom{}
+	for k := range values {
+		w := new(big.Rat).SetFloat64(weights[k])
+		if w.Sign() == 0 {
+			continue
+		}
+		for j, v := range values[k] {
+			rv := new(big.Rat).SetFloat64(v)
+			p := new(big.Rat).Mul(w, new(big.Rat).SetFloat64(probs[k][j]))
+			key := rv.RatString()
+			if ex, ok := acc[key]; ok {
+				ex.Prob.Add(ex.Prob, p)
+			} else {
+				acc[key] = &Atom{Value: rv, Prob: p}
+			}
+		}
+	}
+	return normalize(acc)
+}
+
+// normalize flattens an atom map into a sorted, mass-one law.
+func normalize(acc map[string]*Atom) []Atom {
+	atoms := make([]Atom, 0, len(acc))
+	total := new(big.Rat)
+	for _, a := range acc {
+		atoms = append(atoms, *a)
+		total.Add(total, a.Prob)
+	}
+	sort.Slice(atoms, func(i, j int) bool { return atoms[i].Value.Cmp(atoms[j].Value) < 0 })
+	if total.Sign() != 0 {
+		inv := new(big.Rat).Inv(total)
+		for i := range atoms {
+			atoms[i].Prob = new(big.Rat).Mul(atoms[i].Prob, inv)
+		}
+	}
+	return atoms
+}
+
+// PrBelow returns the exact Pr[X < x] (strict, matching
+// dist.Discrete.PrBelow).
+func PrBelow(atoms []Atom, x *big.Rat) *big.Rat {
+	p := new(big.Rat)
+	for _, a := range atoms {
+		if a.Value.Cmp(x) < 0 {
+			p.Add(p, a.Prob)
+		}
+	}
+	return p
+}
+
+// Mean returns the exact E[X].
+func Mean(atoms []Atom) *big.Rat {
+	m := new(big.Rat)
+	for _, a := range atoms {
+		m.Add(m, new(big.Rat).Mul(a.Value, a.Prob))
+	}
+	return m
+}
+
+// Variance returns the exact Var[X].
+func Variance(atoms []Atom) *big.Rat {
+	mean := Mean(atoms)
+	v := new(big.Rat)
+	for _, a := range atoms {
+		dev := new(big.Rat).Sub(a.Value, mean)
+		dev.Mul(dev, dev)
+		v.Add(v, dev.Mul(dev, a.Prob))
+	}
+	return v
+}

@@ -1,0 +1,80 @@
+package oracle
+
+import (
+	"math/big"
+	"testing"
+)
+
+func rat(a, b int64) *big.Rat { return big.NewRat(a, b) }
+
+func TestWeightedSumHandComputed(t *testing.T) {
+	// D = 1 + 2·X − Y with X ~ U{0, 1}, Y ~ U{0, 2}:
+	// atoms −1, 0, 1, 2, 3 with masses 1/4 except 1 (from two paths? no:
+	// sums are 1+{0,2}−{0,2} = {1,3,−1,1} → 1 twice).
+	atoms := WeightedSum(1, []float64{2, -1},
+		[][]float64{{0, 1}, {0, 2}},
+		[][]float64{{1, 1}, {1, 1}})
+	wantV := []*big.Rat{rat(-1, 1), rat(1, 1), rat(3, 1)}
+	wantP := []*big.Rat{rat(1, 4), rat(1, 2), rat(1, 4)}
+	if len(atoms) != len(wantV) {
+		t.Fatalf("got %d atoms", len(atoms))
+	}
+	for i := range atoms {
+		if atoms[i].Value.Cmp(wantV[i]) != 0 || atoms[i].Prob.Cmp(wantP[i]) != 0 {
+			t.Fatalf("atom %d = (%v, %v), want (%v, %v)", i, atoms[i].Value, atoms[i].Prob, wantV[i], wantP[i])
+		}
+	}
+	if m := Mean(atoms); m.Cmp(rat(1, 1)) != 0 {
+		t.Fatalf("mean %v, want 1", m)
+	}
+	if v := Variance(atoms); v.Cmp(rat(2, 1)) != 0 {
+		t.Fatalf("variance %v, want 2", v)
+	}
+	if p := PrBelow(atoms, rat(1, 1)); p.Cmp(rat(1, 4)) != 0 {
+		t.Fatalf("PrBelow(1) = %v, want 1/4 (strict)", p)
+	}
+}
+
+func TestWeightedSumSkipsZeroWeights(t *testing.T) {
+	atoms := WeightedSum(0, []float64{0, 1},
+		[][]float64{{1e300, -1e300}, {5}},
+		[][]float64{{1, 1}, {1}})
+	if len(atoms) != 1 || atoms[0].Value.Cmp(rat(5, 1)) != 0 || atoms[0].Prob.Cmp(rat(1, 1)) != 0 {
+		t.Fatalf("atoms = %v", atoms)
+	}
+}
+
+func TestWeightedSumExactAtLargeMagnitude(t *testing.T) {
+	// 1e12 + 0.25 is exact in float64 and in the oracle; no drift.
+	atoms := WeightedSum(-1e12, []float64{1},
+		[][]float64{{1e12 + 0.25, 1e12 + 0.75}},
+		[][]float64{{3, 1}})
+	if len(atoms) != 2 {
+		t.Fatalf("got %d atoms", len(atoms))
+	}
+	if atoms[0].Value.Cmp(rat(1, 4)) != 0 || atoms[0].Prob.Cmp(rat(3, 4)) != 0 {
+		t.Fatalf("atom 0 = (%v, %v)", atoms[0].Value, atoms[0].Prob)
+	}
+	if atoms[1].Value.Cmp(rat(3, 4)) != 0 || atoms[1].Prob.Cmp(rat(1, 4)) != 0 {
+		t.Fatalf("atom 1 = (%v, %v)", atoms[1].Value, atoms[1].Prob)
+	}
+}
+
+func TestMixtureHandComputed(t *testing.T) {
+	// Pool U{0,1} (weight 3) with U{1,2} (weight 1): atom 1 gets
+	// 3/4·1/2 + 1/4·1/2 = 1/2.
+	atoms := Mixture(
+		[][]float64{{0, 1}, {1, 2}},
+		[][]float64{{1, 1}, {1, 1}},
+		[]float64{3, 1})
+	wantV := []*big.Rat{rat(0, 1), rat(1, 1), rat(2, 1)}
+	wantP := []*big.Rat{rat(3, 8), rat(1, 2), rat(1, 8)}
+	if len(atoms) != 3 {
+		t.Fatalf("got %d atoms", len(atoms))
+	}
+	for i := range atoms {
+		if atoms[i].Value.Cmp(wantV[i]) != 0 || atoms[i].Prob.Cmp(wantP[i]) != 0 {
+			t.Fatalf("atom %d = (%v, %v), want (%v, %v)", i, atoms[i].Value, atoms[i].Prob, wantV[i], wantP[i])
+		}
+	}
+}

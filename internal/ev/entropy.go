@@ -62,10 +62,24 @@ func (e *Entropy) EV(T model.Set) float64 {
 	x := make([]float64, e.db.N())
 	var acc numeric.KahanAcc
 	enumerate(e.dists, cleanVars, x, func(pT float64) {
-		// Conditional distribution of f over the free variables.
+		// Conditional distribution of f over the free variables, built
+		// in two passes so the pooling grid can be sized to the
+		// magnitude f actually reaches (the same scale-aware
+		// quantization dist.WeightedSum convolves on; for |f| ≤
+		// numeric.QuantizeMaxAbs the grid — and therefore the entropy —
+		// is bit-identical to the legacy fixed 1e-9 keys). Evaluating f
+		// twice per state keeps the memory at the number of *distinct*
+		// outcomes, never the raw product state space.
+		var reach float64
+		enumerate(e.dists, freeVars, x, func(float64) {
+			if a := math.Abs(e.f.Eval(x)); a > reach {
+				reach = a
+			}
+		})
+		grid := numeric.GridFor(reach)
 		pmf := map[int64]float64{}
 		enumerate(e.dists, freeVars, x, func(p float64) {
-			pmf[numeric.QuantizeKey(e.f.Eval(x))] += p
+			pmf[grid.Key(e.f.Eval(x))] += p
 		})
 		var h float64
 		for _, p := range pmf {

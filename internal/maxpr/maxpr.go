@@ -174,7 +174,13 @@ func (e *MVNAffine) Prob(T model.Set) float64 {
 }
 
 // DiscreteAffine evaluates the objective exactly for independent discrete
-// errors by convolving the drop D = Σ_{i∈T} a_i(X_i − u_i).
+// errors by convolving the drop D = Σ_{i∈T} a_i(X_i − u_i). The
+// convolution grid is scale-aware (see dist.WeightedSum/dist.ConvGrid):
+// large-magnitude workloads — CDC-style counts reaching 1e12 and beyond —
+// convolve on an exact integer grid when the weighted supports are
+// integral (or dyadic), and on a relative-resolution grid otherwise, so
+// realistic claim scales solve exactly instead of erroring or silently
+// degrading to Monte Carlo.
 type DiscreteAffine struct {
 	dists []*dist.Discrete
 	a     []float64
@@ -258,7 +264,10 @@ func (e *DiscreteAffine) ProbErr(T model.Set) (float64, error) {
 // Hybrid evaluates exactly by convolution while the state space fits and
 // falls back to Monte Carlo beyond that — the practical evaluator for
 // greedy selection over discrete databases whose chosen sets can grow
-// large.
+// large. Since the convolution grid became scale-aware the fallback only
+// triggers on state-space size (ErrTooLarge), never on magnitude:
+// large-magnitude workloads that used to bounce off the fixed grid and
+// silently degrade to sampling now take the exact path.
 type Hybrid struct {
 	exact *DiscreteAffine
 	mc    *MonteCarlo

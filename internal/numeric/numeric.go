@@ -174,26 +174,24 @@ func Clamp(x, lo, hi float64) float64 {
 	return x
 }
 
-// QuantizeMaxAbs is the magnitude ceiling within which the 1e-9
+// QuantizeMaxAbs is the magnitude ceiling within which the legacy 1e-9
 // quantization grid of QuantizeKey is trustworthy. Beyond ~1e8 the
 // float64 spacing approaches the grid resolution (ulp(1e8) ≈ 1.5e-8),
 // so distinct sums can alias a key — and past ±9.2e9 the scaled value
 // overflows int64 outright. Callers that build keys from data-derived
-// magnitudes (support convolution) must reject inputs whose reachable
-// values exceed this bound instead of silently degrading.
+// magnitudes (support convolution) switch to a scale-aware Grid beyond
+// this bound instead of silently degrading; see GridFor.
 const QuantizeMaxAbs = 1e8
 
 // QuantizeKey collapses a float to a map key with 1e-9 absolute resolution,
 // so that convolution of discrete supports merges values that are equal up
 // to round-off. Values must stay inside ±QuantizeMaxAbs for the grid to
-// be exact, which holds for all datasets in this library (claims ≤ 1e8);
-// dist.WeightedSum enforces the bound.
-func QuantizeKey(x float64) int64 {
-	return int64(math.Round(x * 1e9))
-}
+// be exact; callers whose reachable magnitude can exceed the bound build
+// a scale-aware Grid with GridFor instead.
+func QuantizeKey(x float64) int64 { return DefaultGrid().Key(x) }
 
 // UnquantizeKey inverts QuantizeKey up to the 1e-9 resolution.
-func UnquantizeKey(k int64) float64 { return float64(k) / 1e9 }
+func UnquantizeKey(k int64) float64 { return DefaultGrid().Value(k) }
 
 // SortedKeys returns the keys of m sorted ascending; used to iterate
 // convolution maps deterministically.

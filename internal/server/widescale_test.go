@@ -1,0 +1,112 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"github.com/factcheck/cleansel/internal/server/wire"
+)
+
+// wideSelectBody is a maxpr select over integer supports whose reachable
+// drop magnitude is ~3e12 — the workload class the fixed 1e-9
+// quantization grid used to bounce off (`dist:` grid errors inside the
+// exact evaluator, silently degrading the solve to Monte Carlo). With
+// the scale-aware grid the exact convolution path applies, so the
+// response probability is the oracle-exact 7/8: each of the three
+// objects independently reveals a 2e9 overstatement with probability
+// 1/2, and any one of them drops the grand total past tau = 1e9.
+const wideSelectBody = `{
+  "objects": [
+    {"name": "a", "current": 1000000000000, "cost": 1, "values": [1000000000000, 998000000000], "probs": [1, 1]},
+    {"name": "b", "current": 1003000000000, "cost": 1, "values": [1003000000000, 1001000000000], "probs": [1, 1]},
+    {"name": "c", "current": 993000000000, "cost": 1, "values": [993000000000, 991000000000], "probs": [1, 1]}
+  ],
+  "claim": {"name": "grand-total", "coef": {"0": 1, "1": 1, "2": 1}},
+  "direction": "higher",
+  "reference": 2996000000000,
+  "perturbations": [
+    {"claim": {"name": "grand-total", "coef": {"0": 1, "1": 1, "2": 1}}, "sensibility": 1}
+  ],
+  "measure": "fairness",
+  "goal": "maxpr",
+  "budget": 3,
+  "tau": 1000000000
+}`
+
+// TestSelectWideMagnitudeEndToEnd drives the new large-magnitude
+// coverage through the wire codec and /v1/select: the request succeeds
+// and the objective comes back exactly 7/8 from the exact integer
+// convolution grid.
+func TestSelectWideMagnitudeEndToEnd(t *testing.T) {
+	h := newTestServer(Config{})
+	rec := do(t, h, http.MethodPost, "/v1/select", wideSelectBody)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var res wire.Result
+	if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.IDs) != 3 || res.CostSpent != 3 {
+		t.Fatalf("selection = %+v, want all three objects", res)
+	}
+	if res.Before != 0 {
+		t.Fatalf("objective_before = %v, want 0", res.Before)
+	}
+	if res.After != 0.875 {
+		t.Fatalf("objective_after = %v, want exactly 0.875", res.After)
+	}
+
+	// The repeated request answers identically from the result cache.
+	rec = do(t, h, http.MethodPost, "/v1/select", wideSelectBody)
+	if rec.Code != http.StatusOK || rec.Header().Get("X-Cache") != "hit" {
+		t.Fatalf("repeat: status %d, X-Cache %q", rec.Code, rec.Header().Get("X-Cache"))
+	}
+}
+
+// TestRankAndAssessWideMagnitude exercises the sibling endpoints on the
+// same dataset: both must solve (no grid errors) with exact modular
+// numbers where they apply.
+func TestRankAndAssessWideMagnitude(t *testing.T) {
+	h := newTestServer(Config{})
+	body := `{
+  "objects": [
+    {"name": "a", "current": 1000000000000, "cost": 1, "values": [1000000000000, 998000000000], "probs": [1, 1]},
+    {"name": "b", "current": 1003000000000, "cost": 1, "values": [1003000000000, 1001000000000], "probs": [1, 1]}
+  ],
+  "claim": {"name": "total", "coef": {"0": 1, "1": 1}},
+  "perturbations": [
+    {"claim": {"name": "total", "coef": {"0": 1, "1": 1}}, "sensibility": 1}
+  ]`
+	rec := do(t, h, http.MethodPost, "/v1/rank", body+`, "measure": "fairness"}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("rank status %d: %s", rec.Code, rec.Body.String())
+	}
+	var ranked struct {
+		Objects []wire.Benefit `json:"objects"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &ranked); err != nil {
+		t.Fatal(err)
+	}
+	benefits := ranked.Objects
+	if len(benefits) != 2 {
+		t.Fatalf("benefits = %+v", benefits)
+	}
+	for _, b := range benefits {
+		if b.Benefit != 1e18 { // a_i²·Var[X_i] = 1·(1e9)²
+			t.Fatalf("benefit %v, want exactly 1e18", b.Benefit)
+		}
+	}
+	rec = do(t, h, http.MethodPost, "/v1/assess", body+`}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("assess status %d: %s", rec.Code, rec.Body.String())
+	}
+	var rep wire.Report
+	if err := json.Unmarshal(rec.Body.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.BiasVariance != 2e18 {
+		t.Fatalf("bias variance %v, want exactly 2e18", rep.BiasVariance)
+	}
+}

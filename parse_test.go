@@ -1,0 +1,153 @@
+package cleansel_test
+
+import (
+	"strings"
+	"testing"
+
+	cleansel "github.com/factcheck/cleansel"
+)
+
+func TestParseMeasure(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    cleansel.Measure
+		wantErr bool
+	}{
+		{"fairness", cleansel.Fairness, false},
+		{"FAIRNESS", cleansel.Fairness, false},
+		{"Fairness", cleansel.Fairness, false},
+		{"", cleansel.Fairness, false}, // empty defaults
+		{"uniqueness", cleansel.Uniqueness, false},
+		{"UniQueNess", cleansel.Uniqueness, false},
+		{"robustness", cleansel.Robustness, false},
+		{"bias", 0, true},      // the metric name, not the measure name
+		{"fairness ", 0, true}, // no trimming
+		{" fairness", 0, true},
+		{"minvar", 0, true}, // a goal, not a measure
+		{"fair", 0, true},
+		{"fairnesss", 0, true},
+		{"uniq", 0, true},
+	}
+	for _, c := range cases {
+		got, err := cleansel.ParseMeasure(c.in)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("ParseMeasure(%q) accepted as %v", c.in, got)
+			} else if !strings.Contains(err.Error(), "unknown measure") {
+				t.Errorf("ParseMeasure(%q) error not descriptive: %v", c.in, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseMeasure(%q): %v", c.in, err)
+		} else if got != c.want {
+			t.Errorf("ParseMeasure(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseGoal(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    cleansel.Goal
+		wantErr bool
+	}{
+		{"minvar", cleansel.MinimizeUncertainty, false},
+		{"MINVAR", cleansel.MinimizeUncertainty, false},
+		{"MinVar", cleansel.MinimizeUncertainty, false},
+		{"", cleansel.MinimizeUncertainty, false},
+		{"maxpr", cleansel.MaximizeSurprise, false},
+		{"MaxPr", cleansel.MaximizeSurprise, false},
+		{"min-var", 0, true},
+		{"minimize", 0, true},
+		{"maxpr ", 0, true},
+		{"fairness", 0, true}, // a measure, not a goal
+		{"surprise", 0, true},
+	}
+	for _, c := range cases {
+		got, err := cleansel.ParseGoal(c.in)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("ParseGoal(%q) accepted as %v", c.in, got)
+			} else if !strings.Contains(err.Error(), "unknown goal") {
+				t.Errorf("ParseGoal(%q) error not descriptive: %v", c.in, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseGoal(%q): %v", c.in, err)
+		} else if got != c.want {
+			t.Errorf("ParseGoal(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseAlgorithm(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    cleansel.Algorithm
+		wantErr bool
+	}{
+		{"greedy", cleansel.AlgoGreedy, false},
+		{"GREEDY", cleansel.AlgoGreedy, false},
+		{"", cleansel.AlgoGreedy, false},
+		{"optimum", cleansel.AlgoOptimum, false},
+		{"Optimum", cleansel.AlgoOptimum, false},
+		{"best", cleansel.AlgoBest, false},
+		{"naive", cleansel.AlgoNaive, false},
+		{"random", cleansel.AlgoRandom, false},
+		{"opt", 0, true},
+		{"greedy ", 0, true},
+		{"optimal", 0, true},
+		{"brute", 0, true},
+		{"minvar", 0, true},
+	}
+	for _, c := range cases {
+		got, err := cleansel.ParseAlgorithm(c.in)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("ParseAlgorithm(%q) accepted as %v", c.in, got)
+			} else if !strings.Contains(err.Error(), "unknown algorithm") {
+				t.Errorf("ParseAlgorithm(%q) error not descriptive: %v", c.in, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseAlgorithm(%q): %v", c.in, err)
+		} else if got != c.want {
+			t.Errorf("ParseAlgorithm(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// TestParseStringerRoundTrip pins that every named constant's String()
+// parses back to itself, and that out-of-range values stringify to the
+// diagnostic fallback instead of a real name.
+func TestParseStringerRoundTrip(t *testing.T) {
+	for _, m := range []cleansel.Measure{cleansel.Fairness, cleansel.Uniqueness, cleansel.Robustness} {
+		got, err := cleansel.ParseMeasure(m.String())
+		if err != nil || got != m {
+			t.Errorf("measure %v does not round-trip: %v, %v", m, got, err)
+		}
+	}
+	for _, g := range []cleansel.Goal{cleansel.MinimizeUncertainty, cleansel.MaximizeSurprise} {
+		got, err := cleansel.ParseGoal(g.String())
+		if err != nil || got != g {
+			t.Errorf("goal %v does not round-trip: %v, %v", g, got, err)
+		}
+	}
+	for _, a := range []cleansel.Algorithm{
+		cleansel.AlgoGreedy, cleansel.AlgoOptimum, cleansel.AlgoBest, cleansel.AlgoNaive, cleansel.AlgoRandom,
+	} {
+		got, err := cleansel.ParseAlgorithm(a.String())
+		if err != nil || got != a {
+			t.Errorf("algorithm %v does not round-trip: %v, %v", a, got, err)
+		}
+	}
+	if s := cleansel.Measure(99).String(); !strings.Contains(s, "99") {
+		t.Errorf("out-of-range measure stringified to %q", s)
+	}
+	if _, err := cleansel.ParseMeasure(cleansel.Measure(99).String()); err == nil {
+		t.Error("fallback measure name parsed back")
+	}
+}

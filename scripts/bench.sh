@@ -2,12 +2,15 @@
 # Benchmark the parallel subsystem and record the results as JSON.
 #
 # Runs BenchmarkGroupEngineParallel and BenchmarkSelectParallel (each at
-# workers=1 and workers=GOMAXPROCS) with BENCHTIME iterations per rep
-# (default 5x) and COUNT repetitions (default 3), and writes
-# BENCH_parallel.json at the repo root: per benchmark the min and
-# median ns/op across reps, plus a median-based speedup summary per
-# benchmark family. A single 1x pass is noise; min/median over
-# repetitions is what makes cross-run comparisons meaningful.
+# workers=1 and workers=GOMAXPROCS), plus BenchmarkWeightedSumWide (the
+# reach≈1e12 integer convolution on the scale-aware grid; no workers
+# dimension), with BENCHTIME iterations per rep (default 5x) and COUNT
+# repetitions (default 3), and writes BENCH_parallel.json at the repo
+# root: per benchmark the min and median ns/op across reps, plus a
+# median-based speedup summary per benchmark family (families without a
+# workers dimension are recorded but excluded from speedups). A single
+# 1x pass is noise; min/median over repetitions is what makes cross-run
+# comparisons meaningful.
 #
 # The script exits non-zero when any speedup measured at
 # workers=GOMAXPROCS falls below MIN_SPEEDUP (default 0.9), so a
@@ -28,8 +31,8 @@ out="${BENCH_OUT:-BENCH_parallel.json}"
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
-go test -run '^$' -bench 'BenchmarkGroupEngineParallel|BenchmarkSelectParallel' \
-  -benchtime "$benchtime" -count "$count" . | tee "$raw"
+go test -run '^$' -bench 'BenchmarkGroupEngineParallel|BenchmarkSelectParallel|BenchmarkWeightedSumWide' \
+  -benchtime "$benchtime" -count "$count" . ./internal/dist | tee "$raw"
 
 awk -v benchtime="$benchtime" -v count="$count" -v min_speedup="$min_speedup" '
   BEGIN { gomaxprocs = 1 }              # go test omits the -N suffix when GOMAXPROCS=1
@@ -43,6 +46,7 @@ awk -v benchtime="$benchtime" -v count="$count" -v min_speedup="$min_speedup" '
     family = parts[1]
     workers = parts[n]
     sub(/^workers=/, "", workers)
+    if (workers !~ /^[0-9]+$/) workers = "null"   # no workers dimension
     reps[name]++
     samples[name "|" reps[name]] = ns
     fam_of[name] = family
@@ -76,6 +80,7 @@ awk -v benchtime="$benchtime" -v count="$count" -v min_speedup="$min_speedup" '
     }
     for (i = 1; i <= nkeys; i++) {
       key = order[i]
+      if (workers_of[key] == "null") continue     # not a workers sweep
       f = fam_of[key]
       if (workers_of[key] == 1) base[f] = med(key)
       else { many[f] = med(key); manyw[f] = workers_of[key] }
