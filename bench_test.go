@@ -246,19 +246,25 @@ func BenchmarkSelectFacade(b *testing.B) {
 
 // --- Parallel subsystem -------------------------------------------------------
 
-// benchWorkerCounts runs the benchmark body under CLEANSEL_WORKERS=1
-// and =GOMAXPROCS, the comparison scripts/bench.sh records: the
-// many-worker run must beat workers=1 while producing bit-identical
+// benchWorkerCounts runs the benchmark body across a worker-count
+// curve — CLEANSEL_WORKERS at 1, every power of two up to GOMAXPROCS,
+// and GOMAXPROCS itself — the scaling data scripts/bench.sh records:
+// the full-width run must beat workers=1 while producing bit-identical
 // results (pinned by the bit-identity tests, not re-checked here).
 func benchWorkerCounts(b *testing.B, body func(b *testing.B)) {
 	b.Helper()
-	many := runtime.GOMAXPROCS(0)
-	if many == 1 {
+	max := runtime.GOMAXPROCS(0)
+	if max == 1 {
 		// Single-CPU machine: no speedup to demonstrate, but still
 		// exercise the pool so its overhead shows in the comparison.
-		many = 2
+		max = 2
 	}
-	for _, workers := range []int{1, many} {
+	counts := []int{1}
+	for w := 2; w < max; w *= 2 {
+		counts = append(counts, w)
+	}
+	counts = append(counts, max)
+	for _, workers := range counts {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			b.Setenv(parallel.EnvWorkers, fmt.Sprint(workers))
 			body(b)

@@ -1,0 +1,152 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxFlow enforces that contexts actually flow. Two findings:
+//
+//  1. A function holding a context.Context parameter calls a blocking
+//     function or method when a sibling ...Ctx / ...Context variant
+//     (same receiver type or same package, first parameter a context)
+//     exists — the context stops propagating and the call can neither
+//     be cancelled nor time out.
+//  2. Library code (non-main package; test files are never analyzed)
+//     mints its own context with context.Background or context.TODO.
+//     The standard blocking shim is allowed: inside func Foo, a
+//     Background/TODO call passed as the first argument of Foo's own
+//     FooCtx / FooContext sibling.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "contexts must propagate: no blocking siblings, no ad-hoc Background/TODO",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(p *Pass) {
+	isMain := p.Pkg != nil && p.Pkg.Name() == "main"
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			holdsCtx := funcHasContextParam(p.Info, fd)
+			shimArgs := blockingShimBackgrounds(p.Info, fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if !isMain && isContextMint(p.Info, call) && !shimArgs[call] {
+					p.Reportf(call.Pos(),
+						"%s in library code: accept a context.Context from the caller (or delegate from a blocking shim to the Ctx variant)",
+						calleeFunc(p.Info, call).FullName())
+				}
+				if holdsCtx {
+					checkBlockingSibling(p, call)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// funcHasContextParam reports whether fd declares a context.Context
+// parameter.
+func funcHasContextParam(info *types.Info, fd *ast.FuncDecl) bool {
+	obj, ok := info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := obj.Type().(*types.Signature)
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// isContextMint reports whether call is context.Background() or
+// context.TODO().
+func isContextMint(info *types.Info, call *ast.CallExpr) bool {
+	return isPkgFunc(info, call, "context", "Background") || isPkgFunc(info, call, "context", "TODO")
+}
+
+// blockingShimBackgrounds returns the Background/TODO calls inside fd
+// that are the first argument of a call to fd's own Ctx/Context variant
+// — the documented pattern for keeping a blocking API around a
+// context-aware core.
+func blockingShimBackgrounds(info *types.Info, fd *ast.FuncDecl) map[*ast.CallExpr]bool {
+	allowed := map[*ast.CallExpr]bool{}
+	base := fd.Name.Name
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		outer, ok := n.(*ast.CallExpr)
+		if !ok || len(outer.Args) == 0 {
+			return true
+		}
+		callee := calleeFunc(info, outer)
+		if callee == nil || (callee.Name() != base+"Ctx" && callee.Name() != base+"Context") {
+			return true
+		}
+		if inner, ok := ast.Unparen(outer.Args[0]).(*ast.CallExpr); ok && isContextMint(info, inner) {
+			allowed[inner] = true
+		}
+		return true
+	})
+	return allowed
+}
+
+// checkBlockingSibling reports call when it invokes a blocking function
+// while a context-accepting sibling exists and no context is passed.
+func checkBlockingSibling(p *Pass, call *ast.CallExpr) {
+	callee := calleeFunc(p.Info, call)
+	if callee == nil || callee.Pkg() == nil {
+		return
+	}
+	name := callee.Name()
+	if strings.HasSuffix(name, "Ctx") || strings.HasSuffix(name, "Context") {
+		return
+	}
+	for _, arg := range call.Args {
+		if isContextType(p.Info.TypeOf(arg)) {
+			return // the context is flowing through this call
+		}
+	}
+	sib := ctxSibling(callee)
+	if sib == nil {
+		return
+	}
+	p.Reportf(call.Pos(),
+		"blocking call to %s while holding a context: use %s so cancellation propagates", name, sib.Name())
+}
+
+// ctxSibling returns the ...Ctx / ...Context variant of fn (method on
+// the same receiver type, or function in the same package) whose first
+// parameter is a context.Context, or nil.
+func ctxSibling(fn *types.Func) *types.Func {
+	sig := fn.Type().(*types.Signature)
+	for _, suffix := range []string{"Ctx", "Context"} {
+		want := fn.Name() + suffix
+		var obj types.Object
+		if recv := sig.Recv(); recv != nil {
+			obj, _, _ = types.LookupFieldOrMethod(recv.Type(), true, fn.Pkg(), want)
+		} else {
+			obj = fn.Pkg().Scope().Lookup(want)
+		}
+		cand, ok := obj.(*types.Func)
+		if !ok {
+			continue
+		}
+		csig, ok := cand.Type().(*types.Signature)
+		if !ok || csig.Params().Len() == 0 {
+			continue
+		}
+		if isContextType(csig.Params().At(0).Type()) {
+			return cand
+		}
+	}
+	return nil
+}

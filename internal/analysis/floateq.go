@@ -1,0 +1,162 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags == and != on floating-point operands, and switch
+// statements with a floating-point tag, everywhere except
+// internal/numeric (the one package whose job is float comparison).
+// Results that differ by round-off must pool on grid keys
+// (numeric.Grid.Key) or compare with numeric.AlmostEqual; exact float
+// equality silently splits atoms that should merge. Three shapes are
+// allowed: comparison against a literal zero or ±math.Inf, an operand
+// compared with itself (the NaN idiom), and the deterministic ordering
+// tie-break `if a != b { return a > b }` — that one orders rather than
+// pools, so round-off cannot corrupt results, only reorder exact ties.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "exact float equality outside internal/numeric",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(p *Pass) {
+	if p.Path == ModulePath+"/internal/numeric" {
+		return
+	}
+	for _, f := range p.Files {
+		tieBreaks := orderingTieBreaks(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.BinaryExpr:
+				if e.Op != token.EQL && e.Op != token.NEQ {
+					return true
+				}
+				if !isFloat(p.Info.TypeOf(e.X)) && !isFloat(p.Info.TypeOf(e.Y)) {
+					return true
+				}
+				if tieBreaks[e] {
+					return true
+				}
+				if allowedFloatOperand(p.Info, e.X) || allowedFloatOperand(p.Info, e.Y) {
+					return true
+				}
+				if samePureExpr(e.X, e.Y) {
+					return true // x != x: the IsNaN idiom
+				}
+				p.Reportf(e.OpPos,
+					"float %s comparison: round-off makes exact equality unstable; compare grid keys (numeric.Grid.Key) or use numeric.AlmostEqual", e.Op)
+			case *ast.SwitchStmt:
+				if e.Tag == nil || !isFloat(p.Info.TypeOf(e.Tag)) {
+					return true
+				}
+				if switchCasesAllAllowed(p.Info, e) {
+					return true
+				}
+				p.Reportf(e.Switch,
+					"switch on float tag compares cases with exact equality; switch on grid keys (numeric.Grid.Key) instead")
+			}
+			return true
+		})
+	}
+}
+
+// allowedFloatOperand reports whether e is an allowlisted comparison
+// operand: an exact constant zero or a ±math.Inf(...) call.
+func allowedFloatOperand(info *types.Info, e ast.Expr) bool {
+	if tv, ok := info.Types[e]; ok && tv.Value != nil {
+		if v := constant.ToFloat(tv.Value); v.Kind() == constant.Float || v.Kind() == constant.Int {
+			if constant.Compare(v, token.EQL, constant.MakeInt64(0)) {
+				return true
+			}
+		}
+	}
+	if call, ok := ast.Unparen(e).(*ast.CallExpr); ok && isPkgFunc(info, call, "math", "Inf") {
+		return true
+	}
+	return false
+}
+
+// switchCasesAllAllowed reports whether every case expression of a
+// float-tag switch is an allowlisted constant (0 or ±Inf).
+func switchCasesAllAllowed(info *types.Info, s *ast.SwitchStmt) bool {
+	for _, stmt := range s.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			if !allowedFloatOperand(info, e) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// orderingTieBreaks collects the != conditions of the deterministic
+// sort tie-break idiom
+//
+//	if a != b { return a > b }
+//
+// (any of < > <= >= in the return, same two operands in either order):
+// the comparison selects between two deterministic orderings instead of
+// pooling values, so it is exempt.
+func orderingTieBreaks(f *ast.File) map[*ast.BinaryExpr]bool {
+	out := map[*ast.BinaryExpr]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok || ifs.Init != nil || ifs.Else != nil || len(ifs.Body.List) != 1 {
+			return true
+		}
+		cond, ok := ast.Unparen(ifs.Cond).(*ast.BinaryExpr)
+		if !ok || cond.Op != token.NEQ {
+			return true
+		}
+		ret, ok := ifs.Body.List[0].(*ast.ReturnStmt)
+		if !ok || len(ret.Results) != 1 {
+			return true
+		}
+		cmp, ok := ast.Unparen(ret.Results[0]).(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch cmp.Op {
+		case token.LSS, token.GTR, token.LEQ, token.GEQ:
+		default:
+			return true
+		}
+		if (samePureExpr(cond.X, cmp.X) && samePureExpr(cond.Y, cmp.Y)) ||
+			(samePureExpr(cond.X, cmp.Y) && samePureExpr(cond.Y, cmp.X)) {
+			out[cond] = true
+		}
+		return true
+	})
+	return out
+}
+
+// samePureExpr reports whether a and b are syntactically identical
+// call-free expressions — the only kind whose repeated evaluation is
+// guaranteed to produce the same float.
+func samePureExpr(a, b ast.Expr) bool {
+	a, b = ast.Unparen(a), ast.Unparen(b)
+	if hasCall(a) || hasCall(b) {
+		return false
+	}
+	return types.ExprString(a) == types.ExprString(b)
+}
+
+// hasCall reports whether e contains any call expression.
+func hasCall(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.CallExpr); ok {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

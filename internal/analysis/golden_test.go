@@ -1,0 +1,162 @@
+package analysis
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe matches one expectation comment: // want <check> "<regexp>".
+// The expectation must sit on the same line as the construct it covers.
+var wantRe = regexp.MustCompile(`// want (\w+) "([^"]+)"`)
+
+type wantDiag struct {
+	file    string // path relative to the testdata module root
+	line    int
+	check   string
+	re      *regexp.Regexp
+	matched bool
+}
+
+// TestGolden runs the full suite over the fixture module in
+// testdata/module and checks the diagnostics against the // want
+// expectations, both directions: every finding must be expected and
+// every expectation must fire. The fixture packages reuse the engine
+// package names (dist, core, ev, numeric, model) so the package-scoped
+// analyzers treat them exactly like the real tree.
+func TestGolden(t *testing.T) {
+	moduleDir, err := filepath.Abs(filepath.Join("testdata", "module"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(Config{Dir: moduleDir, Patterns: []string{"./..."}})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	wants := collectWants(t, moduleDir)
+
+	for _, d := range diags {
+		rel, err := filepath.Rel(moduleDir, d.Pos.Filename)
+		if err != nil {
+			t.Fatalf("diagnostic outside module: %v", d)
+		}
+		if !matchWant(wants, rel, d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected %s finding matching %q, got none", w.file, w.line, w.check, w.re)
+		}
+	}
+}
+
+func matchWant(wants []*wantDiag, rel string, d Diagnostic) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == rel && w.line == d.Pos.Line && w.check == d.Check && w.re.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants scans every fixture file for // want comments.
+func collectWants(t *testing.T, moduleDir string) []*wantDiag {
+	t.Helper()
+	var wants []*wantDiag
+	err := filepath.WalkDir(moduleDir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		rel, err := filepath.Rel(moduleDir, path)
+		if err != nil {
+			return err
+		}
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			for _, m := range wantRe.FindAllStringSubmatch(sc.Text(), -1) {
+				re, err := regexp.Compile(m[2])
+				if err != nil {
+					return fmt.Errorf("%s:%d: bad want regexp %q: %v", rel, line, m[2], err)
+				}
+				wants = append(wants, &wantDiag{file: rel, line: line, check: m[1], re: re})
+			}
+		}
+		return sc.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wants) == 0 {
+		t.Fatal("no // want expectations found in testdata/module")
+	}
+	return wants
+}
+
+// TestGoldenRestrictedChecks verifies that -checks style restriction
+// selects a single analyzer and switches off unused-directive
+// reporting (a directive for a deselected check is not rot). Malformed
+// directives stay on: they are broken syntax, not deselected findings.
+func TestGoldenRestrictedChecks(t *testing.T) {
+	moduleDir := filepath.Join("testdata", "module")
+	diags, err := Run(Config{Dir: moduleDir, Patterns: []string{"./..."}, Checks: []string{"maporder"}})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var sawMapOrder bool
+	for _, d := range diags {
+		switch d.Check {
+		case "maporder":
+			sawMapOrder = true
+		case "lint":
+			if strings.Contains(d.Message, "unused") {
+				t.Errorf("restricted run must not report unused directives, got %s", d)
+			}
+		default:
+			t.Errorf("restricted to maporder, got %s", d)
+		}
+	}
+	if !sawMapOrder {
+		t.Fatal("restricted run found no maporder fixtures")
+	}
+}
+
+// TestGoldenUnknownCheck verifies the error path for a bad -checks
+// value.
+func TestGoldenUnknownCheck(t *testing.T) {
+	_, err := Run(Config{Dir: filepath.Join("testdata", "module"), Patterns: []string{"./..."}, Checks: []string{"nosuch"}})
+	if err == nil || !strings.Contains(err.Error(), "unknown check") {
+		t.Fatalf("want unknown-check error, got %v", err)
+	}
+}
+
+// TestGoldenSinglePackagePattern verifies non-recursive pattern
+// expansion against the fixture module.
+func TestGoldenSinglePackagePattern(t *testing.T) {
+	moduleDir := filepath.Join("testdata", "module")
+	diags, err := Run(Config{Dir: moduleDir, Patterns: []string{"./internal/core"}})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, d := range diags {
+		if filepath.Base(filepath.Dir(d.Pos.Filename)) != "core" {
+			t.Errorf("pattern ./internal/core matched a diagnostic outside core: %s", d)
+		}
+		if d.Check != "floateq" {
+			t.Errorf("core fixture should only trip floateq, got %s", d)
+		}
+	}
+	if len(diags) == 0 {
+		t.Fatal("want floateq findings from ./internal/core fixture")
+	}
+}

@@ -1,0 +1,288 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one loaded, type-checked module package. Test files are
+// not analyzed: the contract covers the shipped library and binaries,
+// and test packages routinely (and legitimately) use Background
+// contexts, wall-clock timing, and exact float expectations.
+type Package struct {
+	Path  string // import path
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// A Loader resolves and type-checks module packages with the standard
+// library's source importer — no tool dependency beyond the go tree
+// itself. One Loader caches stdlib and module packages across calls.
+type Loader struct {
+	Fset       *token.FileSet
+	baseDir    string // anchors relative patterns ("."/"./...")
+	moduleRoot string
+	modulePath string
+	dirs       map[string]string // module import path -> absolute dir
+	loaded     map[string]*Package
+	loading    map[string]bool // cycle detection
+	std        types.Importer
+}
+
+// NewLoader builds a loader for the module containing dir (found by
+// walking up to go.mod).
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("analysis: no go.mod found above %s", abs)
+		}
+		root = parent
+	}
+	modPath, err := modulePathOf(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	// The suite reasons about the pure-Go build: cgo variants of stdlib
+	// packages would drag the cgo tool into type-checking for nothing.
+	build.Default.CgoEnabled = false
+	fset := token.NewFileSet()
+	l := &Loader{
+		Fset:       fset,
+		baseDir:    abs,
+		moduleRoot: root,
+		modulePath: modPath,
+		dirs:       map[string]string{},
+		loaded:     map[string]*Package{},
+		loading:    map[string]bool{},
+		std:        importer.ForCompiler(fset, "source", nil),
+	}
+	if err := l.indexModule(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// modulePathOf extracts the module path from a go.mod file.
+func modulePathOf(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module line in %s", gomod)
+}
+
+// indexModule maps every buildable package dir under the module root to
+// its import path. Hidden dirs, underscore dirs, and testdata are
+// skipped, mirroring the go tool's ./... expansion.
+func (l *Loader) indexModule() error {
+	return filepath.WalkDir(l.moduleRoot, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.moduleRoot &&
+			(strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		bp, err := build.ImportDir(path, 0)
+		if err != nil {
+			return nil // no buildable Go files here; keep walking
+		}
+		if len(bp.GoFiles) == 0 {
+			return nil
+		}
+		rel, err := filepath.Rel(l.moduleRoot, path)
+		if err != nil {
+			return err
+		}
+		imp := l.modulePath
+		if rel != "." {
+			imp = l.modulePath + "/" + filepath.ToSlash(rel)
+		}
+		l.dirs[imp] = path
+		return nil
+	})
+}
+
+// Load expands the patterns ("./...", "./dir/...", ".", "./dir", or a
+// full import path) and returns the matched packages, type-checked, in
+// import-path order.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	targets := map[string]bool{}
+	for _, pat := range patterns {
+		matched, err := l.expand(pat)
+		if err != nil {
+			return nil, err
+		}
+		for _, imp := range matched {
+			targets[imp] = true
+		}
+	}
+	paths := make([]string, 0, len(targets))
+	for imp := range targets {
+		paths = append(paths, imp)
+	}
+	sort.Strings(paths)
+	pkgs := make([]*Package, 0, len(paths))
+	for _, imp := range paths {
+		pkg, err := l.load(imp)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// expand resolves one pattern to module import paths.
+func (l *Loader) expand(pat string) ([]string, error) {
+	toImport := func(dir string) (string, error) {
+		// Relative patterns anchor at the loader's base dir, not the
+		// process working directory, so Run(Config{Dir: ...}) behaves
+		// the same from any cwd.
+		if !filepath.IsAbs(dir) {
+			dir = filepath.Join(l.baseDir, dir)
+		}
+		rel, err := filepath.Rel(l.moduleRoot, dir)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return "", fmt.Errorf("analysis: %s is outside module %s", dir, l.modulePath)
+		}
+		if rel == "." {
+			return l.modulePath, nil
+		}
+		return l.modulePath + "/" + filepath.ToSlash(rel), nil
+	}
+	switch {
+	case strings.HasSuffix(pat, "/..."):
+		base, err := toImport(strings.TrimSuffix(pat, "/..."))
+		if err != nil {
+			return nil, err
+		}
+		var out []string
+		for imp := range l.dirs {
+			if imp == base || strings.HasPrefix(imp, base+"/") {
+				out = append(out, imp)
+			}
+		}
+		if len(out) == 0 {
+			return nil, fmt.Errorf("analysis: no packages match %s", pat)
+		}
+		return out, nil
+	case pat == "." || strings.HasPrefix(pat, "./") || strings.HasPrefix(pat, "/"):
+		imp, err := toImport(pat)
+		if err != nil {
+			return nil, err
+		}
+		if _, ok := l.dirs[imp]; !ok {
+			return nil, fmt.Errorf("analysis: no buildable package in %s", pat)
+		}
+		return []string{imp}, nil
+	default: // a plain import path
+		if _, ok := l.dirs[pat]; !ok {
+			return nil, fmt.Errorf("analysis: unknown package %s", pat)
+		}
+		return []string{pat}, nil
+	}
+}
+
+// load type-checks one module package (memoized).
+func (l *Loader) load(imp string) (*Package, error) {
+	if pkg, ok := l.loaded[imp]; ok {
+		return pkg, nil
+	}
+	if l.loading[imp] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", imp)
+	}
+	l.loading[imp] = true
+	defer delete(l.loading, imp)
+
+	dir, ok := l.dirs[imp]
+	if !ok {
+		return nil, fmt.Errorf("analysis: unknown module package %s", imp)
+	}
+	bp, err := build.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %s: %w", imp, err)
+	}
+	files := make([]*ast.File, 0, len(bp.GoFiles))
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	pkg, err := l.check(imp, files)
+	if err != nil {
+		return nil, err
+	}
+	pkg.Dir = dir
+	l.loaded[imp] = pkg
+	return pkg, nil
+}
+
+// check type-checks parsed files as the package imp, resolving module
+// imports through the loader and everything else through the stdlib
+// source importer.
+func (l *Loader) check(imp string, files []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	var errs []error
+	conf := types.Config{
+		Importer: importerFunc(func(path string) (*types.Package, error) {
+			if path == l.modulePath || strings.HasPrefix(path, l.modulePath+"/") {
+				pkg, err := l.load(path)
+				if err != nil {
+					return nil, err
+				}
+				return pkg.Types, nil
+			}
+			return l.std.Import(path)
+		}),
+		Error: func(err error) { errs = append(errs, err) },
+	}
+	tpkg, _ := conf.Check(imp, l.Fset, files, info)
+	if len(errs) > 0 {
+		return nil, fmt.Errorf("analysis: type-checking %s: %v", imp, errs[0])
+	}
+	return &Package{Path: imp, Fset: l.Fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

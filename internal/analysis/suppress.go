@@ -1,0 +1,77 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// An allowDirective is one parsed //lint:allow comment. Directives are
+// file-scoped: every finding of the named check in the file is
+// suppressed. The reason is mandatory — a suppression is a recorded
+// decision, not an off switch.
+type allowDirective struct {
+	check  string
+	reason string
+	pos    token.Position
+	used   bool
+}
+
+const directivePrefix = "//lint:allow"
+
+// parseAllows extracts the allow directives from one file. Malformed
+// directives (unknown check, missing separator or reason) come back as
+// diagnostics under the reserved check name "lint", which cannot itself
+// be suppressed.
+func parseAllows(fset *token.FileSet, f *ast.File) ([]*allowDirective, []Diagnostic) {
+	var allows []*allowDirective
+	var malformed []Diagnostic
+	bad := func(pos token.Pos, msg string) {
+		malformed = append(malformed, Diagnostic{Pos: fset.Position(pos), Check: "lint", Message: msg})
+	}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, directivePrefix) {
+				continue
+			}
+			rest := c.Text[len(directivePrefix):]
+			if rest == "" || (rest[0] != ' ' && rest[0] != '\t') {
+				continue // e.g. //lint:allowed — not this directive
+			}
+			rest = strings.TrimSpace(rest)
+			check, tail, _ := strings.Cut(rest, " ")
+			if ByName(check) == nil {
+				bad(c.Pos(), "//lint:allow names unknown check "+strings.TrimSpace(check)+"; known checks: "+checkNames())
+				continue
+			}
+			reason, ok := cutReason(tail)
+			if !ok || reason == "" {
+				bad(c.Pos(), "//lint:allow "+check+" needs a reason: //lint:allow "+check+" — <why this file is exempt>")
+				continue
+			}
+			allows = append(allows, &allowDirective{check: check, reason: reason, pos: fset.Position(c.Pos())})
+		}
+	}
+	return allows, malformed
+}
+
+// cutReason strips the mandatory separator ("—" or "--") and returns
+// the trimmed reason text.
+func cutReason(tail string) (string, bool) {
+	tail = strings.TrimSpace(tail)
+	for _, sep := range []string{"—", "--"} {
+		if rest, ok := strings.CutPrefix(tail, sep); ok {
+			return strings.TrimSpace(rest), true
+		}
+	}
+	return "", false
+}
+
+// checkNames returns the known check names, comma-separated.
+func checkNames() string {
+	names := make([]string, len(Analyzers))
+	for i, a := range Analyzers {
+		names[i] = a.Name
+	}
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,3 @@
+module github.com/factcheck/cleansel
+
+go 1.24

@@ -1,0 +1,55 @@
+package core
+
+import "math"
+
+func eq(a, b float64) bool {
+	return a == b // want floateq "float == comparison"
+}
+
+func neq(a, b float64) bool {
+	return a != b // want floateq "float != comparison"
+}
+
+// The allowlisted shapes: literal zero, ±Inf, and the NaN self-compare.
+
+func isZero(a float64) bool { return a == 0 }
+
+func isFinite(a float64) bool { return a != math.Inf(1) && a != math.Inf(-1) }
+
+func isNaN(a float64) bool { return a != a }
+
+// tieBreak is the deterministic sort idiom: the comparison orders two
+// values instead of pooling them, so round-off can only reorder ties.
+func tieBreak(a, b float64) bool {
+	if a != b {
+		return a > b
+	}
+	return false
+}
+
+// tieBreakWithCalls looks like the idiom but repeats function calls, so
+// the operands are not guaranteed to reproduce bit-for-bit.
+func tieBreakWithCalls(a, b float64) bool {
+	if math.Abs(a) != math.Abs(b) { // want floateq "float != comparison"
+		return math.Abs(a) > math.Abs(b)
+	}
+	return false
+}
+
+func classify(x float64) int {
+	switch x { // want floateq "switch on float tag"
+	case 1.5:
+		return 1
+	}
+	return 0
+}
+
+func classifyAllowed(x float64) int {
+	switch x {
+	case 0:
+		return 1
+	case math.Inf(1):
+		return 2
+	}
+	return 0
+}

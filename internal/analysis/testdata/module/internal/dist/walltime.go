@@ -1,0 +1,19 @@
+package dist
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want walltime "time.Now in deterministic engine package"
+}
+
+func draw() float64 {
+	return rand.Float64() // want walltime "math/rand"
+}
+
+func mode() string {
+	return os.Getenv("CLEANSEL_MODE") // want walltime "environment-dependent behavior"
+}

@@ -1,0 +1,35 @@
+package ev
+
+import "context"
+
+type Engine struct{}
+
+// Solve is the sanctioned blocking shim: the Background call flows
+// straight into the Ctx variant, so it is not reported.
+func (e *Engine) Solve() error { return e.SolveCtx(context.Background()) }
+
+func (e *Engine) SolveCtx(ctx context.Context) error { return ctx.Err() }
+
+// run holds a context but calls the blocking method anyway.
+func run(ctx context.Context, e *Engine) error {
+	return e.Solve() // want ctxflow "blocking call to Solve while holding a context"
+}
+
+// runPropagated passes the context on; nothing to report.
+func runPropagated(ctx context.Context, e *Engine) error {
+	return e.SolveCtx(ctx)
+}
+
+func Work() error { return WorkContext(context.Background()) }
+
+func WorkContext(ctx context.Context) error { return ctx.Err() }
+
+// callsWork exercises the package-scope ...Context sibling lookup.
+func callsWork(ctx context.Context) error {
+	return Work() // want ctxflow "blocking call to Work while holding a context"
+}
+
+// mint fabricates a context outside the shim pattern.
+func mint() context.Context {
+	return context.Background() // want ctxflow "in library code"
+}

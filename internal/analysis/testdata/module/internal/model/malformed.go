@@ -1,0 +1,7 @@
+package model
+
+//lint:allow nosuchcheck — bogus check name // want lint "unknown check"
+
+//lint:allow floateq missing the separator and reason // want lint "needs a reason"
+
+//lint:allow walltime — walltime never fires outside engine packages // want lint "unused"

@@ -1,0 +1,12 @@
+// Package model exercises the directive machinery.
+//
+//lint:allow maporder — golden test: this file demonstrates a used, well-formed suppression
+package model
+
+func sum(m map[int]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v // suppressed by the file-scoped directive above
+	}
+	return s
+}

@@ -1,0 +1,51 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// WallTime keeps ambient nondeterminism out of the engine packages
+// (dist, ev, expt, core, numeric): no wall-clock reads (time.Now), no
+// global math/rand stream (randomness flows through internal/rng split
+// streams, whose output is stable across runs and Go releases), and no
+// environment-dependent branching (os.Getenv / os.LookupEnv /
+// os.Environ). Any of these makes an engine result depend on when,
+// where, or how the process ran instead of only on its inputs.
+var WallTime = &Analyzer{
+	Name: "walltime",
+	Doc:  "wall-clock, global math/rand, and env reads in deterministic engine packages",
+	Run:  runWallTime,
+}
+
+func runWallTime(p *Pass) {
+	if !enginePkgs[p.Path] {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.CallExpr:
+				if isPkgFunc(p.Info, e, "time", "Now") {
+					p.Reportf(e.Pos(),
+						"time.Now in deterministic engine package: results must depend only on inputs; take timestamps at the caller or inject a clock")
+				}
+				for _, fn := range []string{"Getenv", "LookupEnv", "Environ"} {
+					if isPkgFunc(p.Info, e, "os", fn) {
+						p.Reportf(e.Pos(),
+							"os.%s in deterministic engine package: environment-dependent behavior breaks reproducibility; plumb configuration through parameters", fn)
+					}
+				}
+			case *ast.Ident:
+				obj := p.Info.Uses[e]
+				if obj == nil || obj.Pkg() == nil {
+					return true
+				}
+				if path := obj.Pkg().Path(); path == "math/rand" || path == "math/rand/v2" {
+					p.Reportf(e.Pos(),
+						"%s.%s in deterministic engine package: use internal/rng split streams, whose output is reproducible across runs and Go releases", path, obj.Name())
+				}
+			}
+			return true
+		})
+	}
+}

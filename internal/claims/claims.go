@@ -22,6 +22,8 @@ type Claim struct {
 	Name  string
 	Const float64
 	Coef  map[int]float64
+
+	vars []int // sorted keys of Coef, cached so Eval sums in a fixed order
 }
 
 // NewClaim builds a claim, dropping zero coefficients.
@@ -32,22 +34,33 @@ func NewClaim(name string, constant float64, coef map[int]float64) *Claim {
 			c[i] = v
 		}
 	}
-	return &Claim{Name: name, Const: constant, Coef: c}
+	return &Claim{Name: name, Const: constant, Coef: c, vars: sortedVarIDs(c)}
 }
 
-// Eval evaluates the claim at the full value vector x.
+// Eval evaluates the claim at the full value vector x. Terms are
+// summed in increasing variable order so the result does not depend on
+// map iteration order (float addition is not associative).
 func (c *Claim) Eval(x []float64) float64 {
+	vars := c.vars
+	if vars == nil { // literal-constructed value: no cached order
+		vars = c.Vars()
+	}
 	s := c.Const
-	for i, w := range c.Coef {
-		s += w * x[i]
+	for _, i := range vars {
+		s += c.Coef[i] * x[i]
 	}
 	return s
 }
 
 // Vars returns the sorted object IDs referenced by the claim.
 func (c *Claim) Vars() []int {
-	vars := make([]int, 0, len(c.Coef))
-	for i := range c.Coef {
+	return sortedVarIDs(c.Coef)
+}
+
+// sortedVarIDs returns the keys of a coefficient map in increasing order.
+func sortedVarIDs(coef map[int]float64) []int {
+	vars := make([]int, 0, len(coef))
+	for i := range coef {
 		vars = append(vars, i)
 	}
 	sort.Ints(vars)
@@ -60,7 +73,7 @@ func WindowSum(name string, start, w int) *Claim {
 	for i := start; i < start+w; i++ {
 		coef[i] = 1
 	}
-	return &Claim{Name: name, Coef: coef}
+	return &Claim{Name: name, Coef: coef, vars: sortedVarIDs(coef)}
 }
 
 // WindowComparison returns the claim

@@ -40,6 +40,7 @@ func NewMaxPrKnapsack(db *model.DB, f *query.Affine, precision, eps float64) (*M
 	if eps < 0 || eps >= 1 {
 		return nil, fmt.Errorf("core: eps %v outside [0,1)", eps)
 	}
+	//lint:allow floateq — validates the Lemma 3.3 premise that each model is centered exactly at its current value: an identity check on stored values, not arithmetic pooling
 	for i, o := range db.Objects {
 		if o.Current != ns[i].Mu {
 			return nil, fmt.Errorf("core: object %d not centered at its current value (Lemma 3.3 premise)", i)

@@ -102,7 +102,11 @@ func WeightedSum(offset float64, weights []float64, parts []*Discrete) (*Discret
 		}
 		nextProbs := make(map[int64]float64, len(probs)*part.Size())
 		nextVals := make(map[int64]float64, len(probs)*part.Size())
-		for key, p := range probs {
+		// Sorted iteration: several source atoms can land on one
+		// destination key, and the += below must add them in a fixed
+		// order for the sum to be bit-stable across runs.
+		for _, key := range numeric.SortedKeys(probs) {
+			p := probs[key]
 			base := vals[key]
 			for j, v := range part.Values {
 				s := base + weights[i]*v
@@ -255,6 +259,8 @@ func exactPow2Scale(offset, reach float64, weights []float64, parts []*Discrete)
 // dyadicShift returns the smallest k ≤ maxDyadicShift with x·2^k
 // integral. Multiplying by 2^k only adjusts the exponent, so the test is
 // exact.
+//
+//lint:allow floateq — both compares are exact-representation predicates: Trunc(x·2^k)==x·2^k tests integrality after an exponent-only shift, and σ²!=0 tests underflow to literal zero
 func dyadicShift(x float64) (int, bool) {
 	s := 1.0
 	for k := 0; k <= maxDyadicShift; k++ {

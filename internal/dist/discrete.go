@@ -219,6 +219,8 @@ func (d *Discrete) Variance() float64 {
 // Prob returns Pr[X = v], summing over duplicate support entries. The
 // comparison is exact; callers that quantized their arithmetic should
 // query with values from the support itself.
+//
+//lint:allow floateq — Prob/CDF document exact support-membership semantics: callers query with values taken from the support, so the compare is identity, not round-off pooling
 func (d *Discrete) Prob(v float64) float64 {
 	if len(d.Values) <= smallSupport {
 		var acc numeric.KahanAcc

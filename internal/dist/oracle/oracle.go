@@ -86,6 +86,8 @@ func Mixture(values, probs [][]float64, weights []float64) []Atom {
 }
 
 // normalize flattens an atom map into a sorted, mass-one law.
+//
+//lint:allow maporder — atoms are sorted by value right after collection and the mass total is exact big.Rat arithmetic, so map order cannot reach the result
 func normalize(acc map[string]*Atom) []Atom {
 	atoms := make([]Atom, 0, len(acc))
 	total := new(big.Rat)

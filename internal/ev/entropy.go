@@ -82,8 +82,8 @@ func (e *Entropy) EV(T model.Set) float64 {
 			pmf[grid.Key(e.f.Eval(x))] += p
 		})
 		var h float64
-		for _, p := range pmf {
-			if p > 0 {
+		for _, k := range numeric.SortedKeys(pmf) {
+			if p := pmf[k]; p > 0 {
 				h -= p * math.Log(p)
 			}
 		}

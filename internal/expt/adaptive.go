@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -24,7 +25,7 @@ func init() {
 //   - the budget the adaptive policy actually spends before finding a
 //     counterargument (it stops paying as soon as one materializes), and
 //   - the counter rate both approaches achieve at equal budgets.
-func runAdaptive(scale Scale, seed uint64) ([]*Figure, error) {
+func runAdaptive(ctx context.Context, scale Scale, seed uint64) ([]*Figure, error) {
 	reps := 60
 	if scale == PaperScale {
 		reps = 300
@@ -78,11 +79,12 @@ func runAdaptive(scale Scale, seed uint64) ([]*Figure, error) {
 			}
 			if tr.Countered {
 				adaptiveHits[fi]++
+				//lint:allow floateq — budget fractions come from budgetGrid, whose round2 emits exact two-decimal values; 1.0 is exactly representable and exactly produced
 				if frac == 1.0 {
 					spentWhenFound = append(spentWhenFound, tr.CostSpent/w.DB.TotalCost())
 				}
 			}
-			T, err := upfront.Select(budget)
+			T, err := upfront.SelectContext(ctx, budget)
 			if err != nil {
 				return nil, err
 			}

@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -88,7 +89,7 @@ func revealedCounterProb(sc counterScenario, T model.Set, samples int, r *rng.RN
 // runCounters reproduces the §4.3 "finding counters" experiments on
 // CDC-firearms and URx: the budget each algorithm needs before the
 // revealed data exposes the counterargument with probability ≥ 98%.
-func runCounters(scale Scale, seed uint64) ([]*Figure, error) {
+func runCounters(ctx context.Context, scale Scale, seed uint64) ([]*Figure, error) {
 	samples := 4000
 	step := 0.01
 	if scale == Small {

@@ -7,6 +7,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -94,6 +95,9 @@ func (f *Figure) Render(w io.Writer) error {
 		row[0] = trimFloat(x)
 		for i, s := range f.Series {
 			row[i+1] = ""
+			// The x values were collected verbatim from these same
+			// points, so the match below is identity, not arithmetic.
+			//lint:allow floateq — table assembly matches x values collected verbatim from the series points; no arithmetic happens between collection and compare
 			for _, p := range s.Points {
 				if p.X == x {
 					row[i+1] = trimFloat(p.Y)
@@ -147,8 +151,9 @@ func trimFloat(v float64) string {
 	return s
 }
 
-// Runner produces one or more figures.
-type Runner func(scale Scale, seed uint64) ([]*Figure, error)
+// Runner produces one or more figures. The context flows into the
+// parallel sweeps, so cancelling it aborts an in-flight experiment.
+type Runner func(ctx context.Context, scale Scale, seed uint64) ([]*Figure, error)
 
 // registry maps experiment ids to runners; populated by init() in the
 // per-figure files.
@@ -172,13 +177,19 @@ func IDs() []string {
 	return out
 }
 
-// Run executes the registered experiment.
+// Run executes the registered experiment without cancellation.
 func Run(id string, scale Scale, seed uint64) ([]*Figure, error) {
+	return RunContext(context.Background(), id, scale, seed)
+}
+
+// RunContext executes the registered experiment, aborting the parallel
+// sweeps when ctx is cancelled.
+func RunContext(ctx context.Context, id string, scale Scale, seed uint64) ([]*Figure, error) {
 	r, ok := registry[id]
 	if !ok {
 		return nil, fmt.Errorf("expt: unknown experiment %q (known: %s)", id, strings.Join(IDs(), ", "))
 	}
-	return r(scale, seed)
+	return r(ctx, scale, seed)
 }
 
 // budgetGrid returns the budget fractions of the sweep.

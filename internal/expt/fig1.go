@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/factcheck/cleansel/internal/core"
@@ -14,7 +15,7 @@ func init() {
 // runFig1 reproduces Figure 1: effectiveness of the algorithms in
 // reducing uncertainty in claim *fairness* (a modular MinVar objective)
 // on Adoptions (a, b), CDC-firearms (c), and CDC-causes (d).
-func runFig1(scale Scale, seed uint64) ([]*Figure, error) {
+func runFig1(ctx context.Context, scale Scale, seed uint64) ([]*Figure, error) {
 	fracs := budgetGrid(scale)
 	var out []*Figure
 
@@ -29,7 +30,7 @@ func runFig1(scale Scale, seed uint64) ([]*Figure, error) {
 		{"fig1d", "Variance in fairness after cleaning (CDC-causes)", CausesFairness(seed), false},
 	}
 	for _, sp := range specs {
-		fig, err := fairnessFigure(sp.id, sp.title, sp.w, fracs, sp.random, scale, seed)
+		fig, err := fairnessFigure(ctx, sp.id, sp.title, sp.w, fracs, sp.random, scale, seed)
 		if err != nil {
 			return nil, err
 		}
@@ -43,7 +44,7 @@ func runFig1(scale Scale, seed uint64) ([]*Figure, error) {
 
 // fairnessFigure runs the modular-objective algorithm set of §4.1 on one
 // workload.
-func fairnessFigure(id, title string, w Workload, fracs []float64, withRandom bool, scale Scale, seed uint64) (*Figure, error) {
+func fairnessFigure(ctx context.Context, id, title string, w Workload, fracs []float64, withRandom bool, scale Scale, seed uint64) (*Figure, error) {
 	bias := w.Set.Bias()
 	engine, err := ev.NewModular(w.DB, bias)
 	if err != nil {
@@ -61,7 +62,7 @@ func fairnessFigure(id, title string, w Workload, fracs []float64, withRandom bo
 		},
 	}
 	if withRandom {
-		s, err := sweepRandomAvg(w.DB, fracs, randomReps(scale), seed+1, metric)
+		s, err := sweepRandomAvg(ctx, w.DB, fracs, randomReps(scale), seed+1, metric)
 		if err != nil {
 			return nil, err
 		}
@@ -82,7 +83,7 @@ func fairnessFigure(id, title string, w Workload, fracs []float64, withRandom bo
 	}
 	selectors = append(selectors, gmv, opt)
 	for _, sel := range selectors {
-		s, err := sweepSelector(w.DB, sel, fracs, metric)
+		s, err := sweepSelector(ctx, w.DB, sel, fracs, metric)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -49,7 +50,7 @@ func injectGammaCovariance(db *model.DB, gamma float64) {
 // from §4.1 plus the modular Optimum) compete against the exhaustive OPT
 // and the dependency-aware GreedyDep; every chosen set is scored with the
 // *true* (Schur) expected variance.
-func runFig11(scale Scale, seed uint64) ([]*Figure, error) {
+func runFig11(ctx context.Context, scale Scale, seed uint64) ([]*Figure, error) {
 	// (a) γ = 0.7, budget sweep.
 	w := FirearmsFairness(seed)
 	bias := w.Set.Bias()
@@ -71,7 +72,7 @@ func runFig11(scale Scale, seed uint64) ([]*Figure, error) {
 		return nil, err
 	}
 	for _, sel := range selectors {
-		s, err := sweepSelector(w.DB, sel, fracs, trueEng.EV)
+		s, err := sweepSelector(ctx, w.DB, sel, fracs, trueEng.EV)
 		if err != nil {
 			return nil, err
 		}
@@ -116,14 +117,15 @@ func runFig11(scale Scale, seed uint64) ([]*Figure, error) {
 		if err != nil {
 			return nil, err
 		}
-		for name, sel := range map[string]core.Selector{
-			"GreedyMinVar": gmv, "OPT": opt, "GreedyDep": dep,
-		} {
-			T, err := sel.Select(budget)
+		for _, c := range []struct {
+			name string
+			sel  core.Selector
+		}{{"GreedyMinVar", gmv}, {"OPT", opt}, {"GreedyDep", dep}} {
+			T, err := c.sel.Select(budget)
 			if err != nil {
 				return nil, err
 			}
-			series[name].Points = append(series[name].Points, Point{X: gamma, Y: eng.EV(T)})
+			series[c.name].Points = append(series[c.name].Points, Point{X: gamma, Y: eng.EV(T)})
 		}
 	}
 	for _, name := range []string{"GreedyMinVar", "OPT", "GreedyDep"} {

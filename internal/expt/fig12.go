@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -38,7 +39,7 @@ func adoptionsWindowSums(seed uint64) Workload {
 // genuinely different goals. Each algorithm is measured under BOTH
 // objectives; the MaxPr metric is averaged over redraws of the current
 // values, as in the paper (100 runs).
-func runFig12(scale Scale, seed uint64) ([]*Figure, error) {
+func runFig12(ctx context.Context, scale Scale, seed uint64) ([]*Figure, error) {
 	w := adoptionsWindowSums(seed)
 	bias := w.Set.Bias()
 	modular, err := ev.NewModular(w.DB, bias)
@@ -107,7 +108,7 @@ func runFig12(scale Scale, seed uint64) ([]*Figure, error) {
 			return nil, err
 		}
 		for i, frac := range fracs {
-			Tg, err := greedy.Select(dbRep.Budget(frac))
+			Tg, err := greedy.SelectContext(ctx, dbRep.Budget(frac))
 			if err != nil {
 				return nil, err
 			}

@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/factcheck/cleansel/internal/core"
@@ -28,7 +29,7 @@ var UniquenessGammasLN = []float64{3.0, 3.5, 4.0, 4.5, 5.0, 5.5}
 // nonModularFigure runs the §4.2 algorithm set — GreedyNaive,
 // GreedyMinVar, Best — on a GroupSum objective and reports the expected
 // variance after cleaning.
-func nonModularFigure(id, title string, w Workload, g *query.GroupSum, fracs []float64) (*Figure, error) {
+func nonModularFigure(ctx context.Context, id, title string, w Workload, g *query.GroupSum, fracs []float64) (*Figure, error) {
 	engine, err := ev.NewGroupEngine(w.DB, g)
 	if err != nil {
 		return nil, err
@@ -53,7 +54,7 @@ func nonModularFigure(id, title string, w Workload, g *query.GroupSum, fracs []f
 		return nil, err
 	}
 	for _, sel := range []core.Selector{naive, gmv, best} {
-		s, err := sweepSelector(w.DB, sel, fracs, metric)
+		s, err := sweepSelector(ctx, w.DB, sel, fracs, metric)
 		if err != nil {
 			return nil, err
 		}
@@ -64,15 +65,15 @@ func nonModularFigure(id, title string, w Workload, g *query.GroupSum, fracs []f
 
 // runFig2 reproduces Figure 2: uncertainty in claim uniqueness on the CDC
 // datasets.
-func runFig2(scale Scale, seed uint64) ([]*Figure, error) {
+func runFig2(ctx context.Context, scale Scale, seed uint64) ([]*Figure, error) {
 	fracs := budgetGrid(scale)
 	wf := FirearmsUniqueness(seed)
-	fa, err := nonModularFigure("fig2a", "Expected variance of uniqueness (CDC-firearms, 6-point discretization)", wf, wf.Set.Dup(), fracs)
+	fa, err := nonModularFigure(ctx, "fig2a", "Expected variance of uniqueness (CDC-firearms, 6-point discretization)", wf, wf.Set.Dup(), fracs)
 	if err != nil {
 		return nil, err
 	}
 	wc := CausesUniqueness(seed)
-	fb, err := nonModularFigure("fig2b", "Expected variance of uniqueness (CDC-causes, 4-point discretization)", wc, wc.Set.Dup(), fracs)
+	fb, err := nonModularFigure(ctx, "fig2b", "Expected variance of uniqueness (CDC-causes, 4-point discretization)", wc, wc.Set.Dup(), fracs)
 	if err != nil {
 		return nil, err
 	}
@@ -81,7 +82,7 @@ func runFig2(scale Scale, seed uint64) ([]*Figure, error) {
 
 // syntheticUniquenessFigures runs the Γ sweep for one synthetic
 // generator (Figures 3, 4, 5).
-func syntheticUniquenessFigures(idPrefix string, kind datasets.SyntheticKind, gammas []float64, scale Scale, seed uint64) ([]*Figure, error) {
+func syntheticUniquenessFigures(ctx context.Context, idPrefix string, kind datasets.SyntheticKind, gammas []float64, scale Scale, seed uint64) ([]*Figure, error) {
 	fracs := budgetGrid(scale)
 	n := 40
 	var out []*Figure
@@ -92,7 +93,7 @@ func syntheticUniquenessFigures(idPrefix string, kind datasets.SyntheticKind, ga
 		w := SyntheticUniqueness(kind, n, gamma, seed)
 		id := fmt.Sprintf("%s%c", idPrefix, 'a'+gi)
 		title := fmt.Sprintf("Expected variance of uniqueness (%v, Γ=%v)", kind, gamma)
-		fig, err := nonModularFigure(id, title, w, w.Set.Dup(), fracs)
+		fig, err := nonModularFigure(ctx, id, title, w, w.Set.Dup(), fracs)
 		if err != nil {
 			return nil, err
 		}
@@ -101,21 +102,21 @@ func syntheticUniquenessFigures(idPrefix string, kind datasets.SyntheticKind, ga
 	return out, nil
 }
 
-func runFig3(scale Scale, seed uint64) ([]*Figure, error) {
-	return syntheticUniquenessFigures("fig3", datasets.UR, UniquenessGammas, scale, seed)
+func runFig3(ctx context.Context, scale Scale, seed uint64) ([]*Figure, error) {
+	return syntheticUniquenessFigures(ctx, "fig3", datasets.UR, UniquenessGammas, scale, seed)
 }
 
-func runFig4(scale Scale, seed uint64) ([]*Figure, error) {
-	return syntheticUniquenessFigures("fig4", datasets.LN, UniquenessGammasLN, scale, seed)
+func runFig4(ctx context.Context, scale Scale, seed uint64) ([]*Figure, error) {
+	return syntheticUniquenessFigures(ctx, "fig4", datasets.LN, UniquenessGammasLN, scale, seed)
 }
 
-func runFig5(scale Scale, seed uint64) ([]*Figure, error) {
-	return syntheticUniquenessFigures("fig5", datasets.SM, UniquenessGammas, scale, seed)
+func runFig5(ctx context.Context, scale Scale, seed uint64) ([]*Figure, error) {
+	return syntheticUniquenessFigures(ctx, "fig5", datasets.SM, UniquenessGammas, scale, seed)
 }
 
 // runFig6 derives Figure 6: the absolute improvement of GreedyMinVar over
 // GreedyNaive for the Figure 3 (URx) and Figure 4 (LNx) scenarios.
-func runFig6(scale Scale, seed uint64) ([]*Figure, error) {
+func runFig6(ctx context.Context, scale Scale, seed uint64) ([]*Figure, error) {
 	specs := []struct {
 		id     string
 		kind   datasets.SyntheticKind
@@ -148,11 +149,11 @@ func runFig6(scale Scale, seed uint64) ([]*Figure, error) {
 			if err != nil {
 				return nil, err
 			}
-			sn, err := sweepSelector(w.DB, naive, fracs, engine.EV)
+			sn, err := sweepSelector(ctx, w.DB, naive, fracs, engine.EV)
 			if err != nil {
 				return nil, err
 			}
-			sg, err := sweepSelector(w.DB, gmv, fracs, engine.EV)
+			sg, err := sweepSelector(ctx, w.DB, gmv, fracs, engine.EV)
 			if err != nil {
 				return nil, err
 			}
@@ -174,10 +175,10 @@ func runFig6(scale Scale, seed uint64) ([]*Figure, error) {
 
 // runFig7 reproduces Figure 7: robustness (fragility) on CDC-firearms and
 // URx with Γ′=100.
-func runFig7(scale Scale, seed uint64) ([]*Figure, error) {
+func runFig7(ctx context.Context, scale Scale, seed uint64) ([]*Figure, error) {
 	fracs := budgetGrid(scale)
 	wf := FirearmsRobustness(seed)
-	fa, err := nonModularFigure("fig7a", "Expected variance of robustness (CDC-firearms)", wf, wf.Set.Frag(), fracs)
+	fa, err := nonModularFigure(ctx, "fig7a", "Expected variance of robustness (CDC-firearms)", wf, wf.Set.Frag(), fracs)
 	if err != nil {
 		return nil, err
 	}
@@ -186,7 +187,7 @@ func runFig7(scale Scale, seed uint64) ([]*Figure, error) {
 		n = 48
 	}
 	wu := SyntheticRobustness(datasets.UR, n, 100, seed)
-	fb, err := nonModularFigure("fig7b", fmt.Sprintf("Expected variance of robustness (URx, n=%d, Γ'=100)", n), wu, wu.Set.Frag(), fracs)
+	fb, err := nonModularFigure(ctx, "fig7b", fmt.Sprintf("Expected variance of robustness (URx, n=%d, Γ'=100)", n), wu, wu.Set.Frag(), fracs)
 	if err != nil {
 		return nil, err
 	}

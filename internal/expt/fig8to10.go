@@ -26,7 +26,7 @@ func init() {
 // hidden true values are drawn, each algorithm spends its budget, the
 // chosen values are revealed, and the fact-checker's posterior mean and
 // standard deviation of the uniqueness measure are reported.
-func inActionFigures(idMean, idStd, title string, w Workload, scale Scale, seed uint64) ([]*Figure, error) {
+func inActionFigures(ctx context.Context, idMean, idStd, title string, w Workload, scale Scale, seed uint64) ([]*Figure, error) {
 	g := w.Set.Dup()
 	engine, err := ev.NewGroupEngine(w.DB, g)
 	if err != nil {
@@ -70,7 +70,7 @@ func inActionFigures(idMean, idStd, title string, w Workload, scale Scale, seed 
 		// Each budget point is an independent solve-then-condition run;
 		// fan them out over the worker pool (CondMoments allocates its
 		// own scratch, and the selectors are safe for concurrent Select).
-		err := parallel.For(context.Background(), len(fracs), func(_, i int) error {
+		err := parallel.For(ctx, len(fracs), func(_, i int) error {
 			frac := fracs[i]
 			T, err := sel.Select(w.DB.Budget(frac))
 			if err != nil {
@@ -95,13 +95,13 @@ func inActionFigures(idMean, idStd, title string, w Workload, scale Scale, seed 
 }
 
 // runFig8 reproduces Figure 8 (CDC-causes uniqueness in action).
-func runFig8(scale Scale, seed uint64) ([]*Figure, error) {
-	return inActionFigures("fig8a", "fig8b", "CDC-causes in action", CausesUniqueness(seed), scale, seed)
+func runFig8(ctx context.Context, scale Scale, seed uint64) ([]*Figure, error) {
+	return inActionFigures(ctx, "fig8a", "fig8b", "CDC-causes in action", CausesUniqueness(seed), scale, seed)
 }
 
 // runFig9 reproduces Figure 9 (URx, Γ=100, in action).
-func runFig9(scale Scale, seed uint64) ([]*Figure, error) {
-	return inActionFigures("fig9a", "fig9b", "URx Γ=100 in action", SyntheticUniqueness(datasets.UR, 40, 100, seed), scale, seed)
+func runFig9(ctx context.Context, scale Scale, seed uint64) ([]*Figure, error) {
+	return inActionFigures(ctx, "fig9a", "fig9b", "URx Γ=100 in action", SyntheticUniqueness(datasets.UR, 40, 100, seed), scale, seed)
 }
 
 // coveringUniquenessQuery builds the Figure 10 workload over n objects:
@@ -130,7 +130,9 @@ func SyntheticUniquenessFromDB(db *model.DB, gamma float64) Workload {
 // runFig10 measures GreedyMinVar's running time: (a) n=10,000 with
 // increasing budget; (b) budget 5,000 with increasing n. Paper scale runs
 // the full grid up to n=10⁶.
-func runFig10(scale Scale, seed uint64) ([]*Figure, error) {
+//
+//lint:allow walltime — figure 10 reproduces the paper's running-time plots: its y-axis IS wall-clock seconds, measured around the solver calls
+func runFig10(ctx context.Context, scale Scale, seed uint64) ([]*Figure, error) {
 	// (a) fixed n, varying budget.
 	nA := 10000
 	budgets := []float64{0.01, 0.05, 0.10, 0.20, 0.30}
@@ -153,7 +155,7 @@ func runFig10(scale Scale, seed uint64) ([]*Figure, error) {
 			return nil, err
 		}
 		start := time.Now()
-		if _, err := gmv.Select(dbA.Budget(frac)); err != nil {
+		if _, err := gmv.SelectContext(ctx, dbA.Budget(frac)); err != nil {
 			return nil, err
 		}
 		sa.Points = append(sa.Points, Point{X: frac, Y: time.Since(start).Seconds()})
@@ -180,7 +182,7 @@ func runFig10(scale Scale, seed uint64) ([]*Figure, error) {
 			return nil, err
 		}
 		start := time.Now()
-		if _, err := gmv.Select(5000); err != nil {
+		if _, err := gmv.SelectContext(ctx, 5000); err != nil {
 			return nil, err
 		}
 		sb.Points = append(sb.Points, Point{X: float64(n), Y: time.Since(start).Seconds()})

@@ -16,9 +16,9 @@ import (
 // and engine used by the figure runners is either stateless per call or
 // guards its caches, so the series is bit-identical to a sequential
 // sweep for every worker count.
-func sweepSelector(db *model.DB, sel core.Selector, fracs []float64, metric func(model.Set) float64) (Series, error) {
+func sweepSelector(ctx context.Context, db *model.DB, sel core.Selector, fracs []float64, metric func(model.Set) float64) (Series, error) {
 	s := Series{Name: sel.Name(), Points: make([]Point, len(fracs))}
-	err := parallel.For(context.Background(), len(fracs), func(_, i int) error {
+	err := parallel.For(ctx, len(fracs), func(_, i int) error {
 		frac := fracs[i]
 		T, err := sel.Select(db.Budget(frac))
 		if err != nil {
@@ -40,9 +40,9 @@ func sweepSelector(db *model.DB, sel core.Selector, fracs []float64, metric func
 // does (100 runs, error bars omitted). Each budget point runs on the
 // worker pool; the per-point repetition seeds are fixed, so the
 // averages do not depend on the worker count.
-func sweepRandomAvg(db *model.DB, fracs []float64, reps int, seed uint64, metric func(model.Set) float64) (Series, error) {
+func sweepRandomAvg(ctx context.Context, db *model.DB, fracs []float64, reps int, seed uint64, metric func(model.Set) float64) (Series, error) {
 	s := Series{Name: "Random", Points: make([]Point, len(fracs))}
-	err := parallel.For(context.Background(), len(fracs), func(_, i int) error {
+	err := parallel.For(ctx, len(fracs), func(_, i int) error {
 		frac := fracs[i]
 		var sum float64
 		for rep := 0; rep < reps; rep++ {

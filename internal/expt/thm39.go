@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/factcheck/cleansel/internal/core"
@@ -24,7 +25,7 @@ func init() {
 // independent case, where alignment is provable (Lemma 3.1); γ>0 injects
 // correlation, under both the proper Schur semantics and the paper's
 // marginal simplification.
-func runThm39(scale Scale, seed uint64) ([]*Figure, error) {
+func runThm39(ctx context.Context, scale Scale, seed uint64) ([]*Figure, error) {
 	trials := 40
 	n := 6
 	if scale == PaperScale {

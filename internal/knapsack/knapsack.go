@@ -158,6 +158,7 @@ func MinDP(values, costs []float64, lower, precision float64) (Result, error) {
 	}
 	res := Result{Value: dp[n][L]}
 	j := L
+	//lint:allow floateq — DP backtrack asks whether item i changed the cell; when it did not, dp[i][j] was copied from dp[i-1][j], so the equality is an identity on the same stored float
 	for i := n; i >= 1; i-- {
 		if dp[i][j] == dp[i-1][j] {
 			continue

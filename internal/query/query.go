@@ -25,6 +25,8 @@ type Function interface {
 type Affine struct {
 	Const float64
 	Coef  map[int]float64
+
+	vars []int // sorted keys of Coef, cached so Eval sums in a fixed order
 }
 
 // NewAffine returns an affine function; zero coefficients are dropped.
@@ -35,26 +37,38 @@ func NewAffine(constant float64, coef map[int]float64) *Affine {
 			c[i] = v
 		}
 	}
-	return &Affine{Const: constant, Coef: c}
+	return &Affine{Const: constant, Coef: c, vars: sortedCoefKeys(c)}
 }
 
-// Eval evaluates the affine form.
+// Eval evaluates the affine form. Terms are summed in increasing
+// variable order: float addition is not associative, so summing in map
+// iteration order would make the low bits run-dependent.
 func (a *Affine) Eval(x []float64) float64 {
+	vars := a.vars
+	if vars == nil { // literal-constructed value: no cached order
+		vars = sortedCoefKeys(a.Coef)
+	}
 	s := a.Const
-	for i, c := range a.Coef {
-		s += c * x[i]
+	for _, i := range vars {
+		s += a.Coef[i] * x[i]
 	}
 	return s
 }
 
 // Vars returns the sorted referenced IDs.
 func (a *Affine) Vars() []int {
-	vars := make([]int, 0, len(a.Coef))
-	for i := range a.Coef {
-		vars = append(vars, i)
+	return sortedCoefKeys(a.Coef)
+}
+
+// sortedCoefKeys returns the keys of a sparse coefficient map in
+// increasing order.
+func sortedCoefKeys(coef map[int]float64) []int {
+	keys := make([]int, 0, len(coef))
+	for i := range coef {
+		keys = append(keys, i)
 	}
-	sort.Ints(vars)
-	return vars
+	sort.Ints(keys)
+	return keys
 }
 
 // CoefAt returns the coefficient of X_i (0 if absent).

@@ -137,11 +137,11 @@ func (t *Table) Avg(name string, pred Pred) (*claims.Claim, error) {
 // relational form.
 func Diff(name string, a, b *claims.Claim) *claims.Claim {
 	coef := map[int]float64{}
-	for i, v := range a.Coef {
-		coef[i] += v
+	for _, i := range a.Vars() {
+		coef[i] += a.Coef[i]
 	}
-	for i, v := range b.Coef {
-		coef[i] -= v
+	for _, i := range b.Vars() {
+		coef[i] -= b.Coef[i]
 	}
 	return claims.NewClaim(name, a.Const-b.Const, coef)
 }
@@ -150,11 +150,11 @@ func Diff(name string, a, b *claims.Claim) *claims.Claim {
 // claim shape of §4.1.
 func Share(name string, a, b *claims.Claim, frac float64) *claims.Claim {
 	coef := map[int]float64{}
-	for i, v := range a.Coef {
-		coef[i] += v
+	for _, i := range a.Vars() {
+		coef[i] += a.Coef[i]
 	}
-	for i, v := range b.Coef {
-		coef[i] -= frac * v
+	for _, i := range b.Vars() {
+		coef[i] -= frac * b.Coef[i]
 	}
 	return claims.NewClaim(name, a.Const-frac*b.Const, coef)
 }
