@@ -16,6 +16,7 @@ import (
 	"github.com/factcheck/cleansel/internal/linalg"
 	"github.com/factcheck/cleansel/internal/maxpr"
 	"github.com/factcheck/cleansel/internal/model"
+	"github.com/factcheck/cleansel/internal/obs"
 	"github.com/factcheck/cleansel/internal/rel"
 	"github.com/factcheck/cleansel/internal/rng"
 )
@@ -510,9 +511,13 @@ func selectMaxPr(ctx context.Context, task Task) (Result, error) {
 		} else {
 			// Mixed value models: discretize the normals so the exact
 			// convolution path applies.
-			eval, err = maxpr.NewHybrid(discreteView(db), bias, task.Tau, 0, 20000, rng.New(task.Seed^0x51ec7))
+			var h *maxpr.Hybrid
+			h, err = maxpr.NewHybrid(discreteView(db), bias, task.Tau, 0, 20000, rng.New(task.Seed^0x51ec7))
 			if err == nil {
-				eval = maxpr.NewCached(eval)
+				// Write-only trace: exact/fallback route counts and
+				// convolution work tick the request's recorder, if any.
+				h.Observe(obs.FromContext(ctx))
+				eval = maxpr.NewCached(h)
 			}
 		}
 	}

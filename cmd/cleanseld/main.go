@@ -8,6 +8,7 @@
 //	POST /v1/rank          benefit-per-cost ranking of every object
 //	POST /v1/assess        claim-quality report (bias/duplicity/fragility)
 //	GET  /healthz          liveness and cache statistics
+//	GET  /metrics          Prometheus text-format metrics
 //
 // A quickstart against the examples/quickstart dataset:
 //
@@ -29,6 +30,15 @@
 // periodically (-cache-snapshot-every) and on graceful shutdown, so a
 // restarted daemon resumes with its datasets and warm cache. Damaged
 // state on disk is skipped and counted on /healthz, never fatal.
+//
+// Observability: GET /metrics serves request, cache, pool, and solve-
+// stage metrics in Prometheus text format. Every response carries an
+// X-Request-ID (propagated from the request when present and valid,
+// generated otherwise) that also appears in access logs and error
+// bodies; appending ?trace=1 to a select/rank/assess request wraps the
+// result in an envelope with per-stage timings and engine op counts.
+// -debug-addr starts net/http/pprof on a separate listener — bind it
+// to localhost only.
 package main
 
 import (
@@ -39,6 +49,7 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -68,6 +79,7 @@ func run(args []string, errw *os.File) int {
 		dataDir     = fs.String("data-dir", "", "directory for durable dataset storage (empty = in-memory only)")
 		cacheSnap   = fs.String("cache-snapshot", "", "file the result cache is snapshotted to and restored from (empty = no snapshots)")
 		snapEvery   = fs.Duration("cache-snapshot-every", time.Minute, "period between result-cache snapshots (with -cache-snapshot)")
+		debugAddr   = fs.String("debug-addr", "", "listen address for the pprof debug server (empty = disabled; keep it off public interfaces)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(errw, "usage: cleanseld [flags]")
@@ -119,6 +131,32 @@ func run(args []string, errw *os.File) int {
 		}
 	}
 	logger.Info("listening", "addr", bound)
+
+	// The pprof surface gets its own listener so profiling can be bound
+	// to localhost while the API listens publicly, and so a profiler
+	// hammering /debug/pprof/profile never counts against the API's
+	// access logs or request metrics.
+	if *debugAddr != "" {
+		debugLn, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			logger.Error("listen (debug)", "addr", *debugAddr, "err", err)
+			return 1
+		}
+		debugMux := http.NewServeMux()
+		debugMux.HandleFunc("/debug/pprof/", pprof.Index)
+		debugMux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		debugMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		debugMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		debugMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		debugSrv := &http.Server{Handler: debugMux, ReadHeaderTimeout: 10 * time.Second}
+		defer debugSrv.Close()
+		go func() {
+			if err := debugSrv.Serve(debugLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug serve", "err", err)
+			}
+		}()
+		logger.Info("debug listening", "addr", debugLn.Addr().String())
+	}
 
 	httpSrv := &http.Server{
 		Handler:           srv.Handler(),

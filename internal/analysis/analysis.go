@@ -21,10 +21,14 @@
 //     context.Background / context.TODO — except in the standard blocking
 //     shim `func Foo(..)` delegating to its own `FooCtx(context.Background(), ..)`.
 //   - walltime: the deterministic engine packages (dist, ev, expt, core,
-//     numeric) must not read wall-clock time (time.Now), the global
+//     numeric, obs) must not read wall-clock time (time.Now), the global
 //     math/rand stream, or the process environment; randomness flows
 //     through internal/rng split streams so every figure is reproducible
-//     bit-for-bit.
+//     bit-for-bit. internal/obs is the one sanctioned clock package (its
+//     clock file carries an allow directive); other engines may tick the
+//     write-only obs.Recorder but must not touch obs.Clock, SystemClock,
+//     fake clocks, or NewRecorder — clocks are injected at the server
+//     boundary.
 //
 // Findings are suppressed per file with a mandatory-reason directive:
 //
@@ -72,7 +76,11 @@ var deterministicPkgs = map[string]bool{
 
 // enginePkgs is the narrower set of deterministic *engine* packages where
 // wall-clock time, the global math/rand stream, and environment reads are
-// banned outright (the walltime analyzer).
+// banned outright (the walltime analyzer). internal/obs is scanned as an
+// engine package too: it is the one sanctioned place wall time enters the
+// system (its clock file carries the mandatory //lint:allow walltime
+// directive), and listing it here keeps any new ambient read in it an
+// explicit, justified decision.
 var enginePkgs = map[string]bool{
 	ModulePath + "/internal/dist":        true,
 	ModulePath + "/internal/dist/oracle": true,
@@ -80,6 +88,7 @@ var enginePkgs = map[string]bool{
 	ModulePath + "/internal/expt":        true,
 	ModulePath + "/internal/core":        true,
 	ModulePath + "/internal/numeric":     true,
+	ModulePath + "/internal/obs":         true,
 }
 
 // An Analyzer is one named check over a type-checked package.

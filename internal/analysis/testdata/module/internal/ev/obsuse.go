@@ -1,0 +1,28 @@
+package ev
+
+import "github.com/factcheck/cleansel/internal/obs"
+
+// tick exercises the allowed direction: engines may tick the
+// write-only Recorder a request hands them. No findings here.
+func tick(rec *obs.Recorder, hits int64) {
+	rec.Add("ev_cache_hits", hits)
+}
+
+// holdClock exercises the banned direction: an engine holding a clock
+// reads wall time through the back door, even via the sanctioned
+// package.
+func holdClock() obs.Clock { // want walltime "obs.Clock in deterministic engine package"
+	return obs.SystemClock // want walltime "obs.SystemClock in deterministic engine package"
+}
+
+// buildRecorder is banned too: NewRecorder embeds a clock, so engines
+// receive recorders, they never construct them.
+func buildRecorder() *obs.Recorder {
+	return obs.NewRecorder(nil) // want walltime "obs.NewRecorder in deterministic engine package"
+}
+
+// fakeOut shows fakes are no loophole: the point is that engines take
+// no clock at all, real or fake.
+func fakeOut() *obs.FakeClock { // want walltime "obs.FakeClock in deterministic engine package"
+	return obs.NewFakeClock(obs.SystemClock.Now()) // want walltime "obs.NewFakeClock" // want walltime "obs.SystemClock"
+}

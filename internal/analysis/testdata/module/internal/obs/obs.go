@@ -1,0 +1,51 @@
+// Package obs mirrors the real internal/obs shape: the one engine
+// package allowed to read the wall clock, behind a file-scoped allow
+// directive. Everything else here (Recorder) is write-only plumbing
+// that engines may use freely.
+//
+//lint:allow walltime — golden test: obs is the sanctioned clock package; wall time enters only here
+package obs
+
+import "time"
+
+// Clock hands out wall time; injected at the server boundary.
+type Clock interface {
+	Now() time.Time
+}
+
+type systemClock struct{}
+
+func (systemClock) Now() time.Time { return time.Now() }
+
+// SystemClock is the real clock.
+var SystemClock Clock = systemClock{}
+
+// FakeClock is a manual clock for tests.
+type FakeClock struct{ t time.Time }
+
+func NewFakeClock(t time.Time) *FakeClock { return &FakeClock{t: t} }
+
+func (f *FakeClock) Now() time.Time { return f.t }
+
+// Recorder is the write-only trace sink a request carries.
+type Recorder struct {
+	clock  Clock
+	counts map[string]int64
+}
+
+// NewRecorder embeds a clock, so constructing one is itself a clock
+// acquisition — engines receive a Recorder, they never build one.
+func NewRecorder(c Clock) *Recorder {
+	if c == nil {
+		c = SystemClock
+	}
+	return &Recorder{clock: c, counts: map[string]int64{}}
+}
+
+// Add ticks a counter; nil-receiver safe.
+func (r *Recorder) Add(name string, n int64) {
+	if r == nil {
+		return
+	}
+	r.counts[name] += n
+}

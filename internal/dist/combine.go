@@ -6,7 +6,23 @@ import (
 	"math"
 
 	"github.com/factcheck/cleansel/internal/numeric"
+	"github.com/factcheck/cleansel/internal/obs"
 )
+
+// convStats counts the elementary work of one pooling or convolution:
+// ops is the number of atom products visited, merged the number that
+// collided with an existing grid key. The counts are write-only
+// observability — nothing reads them back into the computation.
+type convStats struct {
+	ops    int64
+	merged int64
+}
+
+// report ticks the stats into a recorder (nil-safe).
+func (st *convStats) report(rec *obs.Recorder) {
+	rec.Add("conv_ops", st.ops)
+	rec.Add("conv_atoms_merged", st.merged)
+}
 
 // Mixture pools conflicting source laws for one object into the
 // credibility-weighted opinion pool Σ_k w̄_k·p_k(v) with w̄ = w/Σw (the
@@ -20,6 +36,23 @@ import (
 // first exact value seen; the pooled support comes out sorted
 // ascending.
 func Mixture(dists []*Discrete, weights []float64) (*Discrete, error) {
+	return mixture(nil, dists, weights)
+}
+
+// MixtureRec is Mixture with write-only trace counters: the pooled
+// atom count and grid-collision merges tick into rec (nil rec is the
+// plain Mixture). The returned law is bit-identical either way.
+func MixtureRec(rec *obs.Recorder, dists []*Discrete, weights []float64) (*Discrete, error) {
+	if rec == nil {
+		return mixture(nil, dists, weights)
+	}
+	var st convStats
+	d, err := mixture(&st, dists, weights)
+	st.report(rec)
+	return d, err
+}
+
+func mixture(st *convStats, dists []*Discrete, weights []float64) (*Discrete, error) {
 	if len(dists) == 0 {
 		return nil, errors.New("dist: Mixture needs at least one component")
 	}
@@ -50,6 +83,11 @@ func Mixture(dists []*Discrete, weights []float64) (*Discrete, error) {
 			key := grid.Key(v)
 			if _, seen := vals[key]; !seen {
 				vals[key] = v
+			} else if st != nil {
+				st.merged++
+			}
+			if st != nil {
+				st.ops++
 			}
 			pooled[key] += weights[k] * d.Probs[j]
 		}
@@ -90,6 +128,24 @@ func Mixture(dists []*Discrete, weights []float64) (*Discrete, error) {
 // magnitude WeightedSum still rejects is a reach that overflows float64
 // entirely.
 func WeightedSum(offset float64, weights []float64, parts []*Discrete) (*Discrete, error) {
+	return weightedSum(nil, offset, weights, parts)
+}
+
+// WeightedSumRec is WeightedSum with write-only trace counters: the
+// number of atom products convolved and the grid-collision merges tick
+// into rec (nil rec is the plain WeightedSum). The returned law is
+// bit-identical either way.
+func WeightedSumRec(rec *obs.Recorder, offset float64, weights []float64, parts []*Discrete) (*Discrete, error) {
+	if rec == nil {
+		return weightedSum(nil, offset, weights, parts)
+	}
+	var st convStats
+	d, err := weightedSum(&st, offset, weights, parts)
+	st.report(rec)
+	return d, err
+}
+
+func weightedSum(st *convStats, offset float64, weights []float64, parts []*Discrete) (*Discrete, error) {
 	grid, _, err := ConvGrid(offset, weights, parts)
 	if err != nil {
 		return nil, err
@@ -113,6 +169,11 @@ func WeightedSum(offset float64, weights []float64, parts []*Discrete) (*Discret
 				k := grid.Key(s)
 				if _, seen := nextVals[k]; !seen {
 					nextVals[k] = s
+				} else if st != nil {
+					st.merged++
+				}
+				if st != nil {
+					st.ops++
 				}
 				nextProbs[k] += p * part.Probs[j]
 			}

@@ -10,6 +10,7 @@ import (
 	"github.com/factcheck/cleansel/internal/dist"
 	"github.com/factcheck/cleansel/internal/model"
 	"github.com/factcheck/cleansel/internal/numeric"
+	"github.com/factcheck/cleansel/internal/obs"
 	"github.com/factcheck/cleansel/internal/parallel"
 	"github.com/factcheck/cleansel/internal/query"
 )
@@ -325,6 +326,12 @@ func (e *GroupEngine) termValues(ctx context.Context, cleaned []bool) ([]float64
 		misses = append(misses, evMiss{i: k})
 	}
 	e.mu.Unlock()
+	// Write-only trace ticks: the recorder never feeds back into the
+	// computation, so recorded and unrecorded runs are bit-identical.
+	if rec := obs.FromContext(ctx); rec != nil {
+		rec.Add("ev_cache_hits", int64(len(e.terms)-len(misses)))
+		rec.Add("ev_cache_misses", int64(len(misses)))
+	}
 	if len(misses) == 0 {
 		return vals, nil
 	}
@@ -369,6 +376,10 @@ func (e *GroupEngine) pairValues(ctx context.Context, cleaned []bool) ([]float64
 		misses = append(misses, evMiss{i: pi})
 	}
 	e.mu.Unlock()
+	if rec := obs.FromContext(ctx); rec != nil && len(e.pairs) > 0 {
+		rec.Add("ev_cache_hits", int64(len(e.pairs)-len(misses)))
+		rec.Add("ev_cache_misses", int64(len(misses)))
+	}
 	if len(misses) == 0 {
 		return vals, nil
 	}
@@ -414,6 +425,7 @@ func (e *GroupEngine) EV(T model.Set) float64 {
 // summation order is fixed (terms ascending, then pairs ascending), so
 // the value is bit-identical for every worker count.
 func (e *GroupEngine) EVCtx(ctx context.Context, T model.Set) (float64, error) {
+	obs.FromContext(ctx).Add("ev_calls", 1)
 	cleaned := make([]bool, e.db.N())
 	for _, i := range T {
 		cleaned[i] = true
@@ -507,6 +519,7 @@ func (e *GroupEngine) NewState() *State {
 // worker pool. The reduction runs in index order, so the state is
 // bit-identical for every worker count.
 func (e *GroupEngine) NewStateCtx(ctx context.Context) (*State, error) {
+	defer obs.FromContext(ctx).Span("ev_state_init")()
 	s := &State{
 		e:       e,
 		cleaned: make([]bool, e.db.N()),
@@ -645,6 +658,7 @@ type termContrib struct {
 // sequential loop accumulates them, so the result is bit-identical
 // for every worker count.
 func (s *State) SingletonBenefitsCtx(ctx context.Context) ([]float64, error) {
+	defer obs.FromContext(ctx).Span("singleton_benefits")()
 	e := s.e
 	n := e.db.N()
 	benefits := make([]float64, n)

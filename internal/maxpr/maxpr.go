@@ -28,6 +28,7 @@ import (
 	"github.com/factcheck/cleansel/internal/linalg"
 	"github.com/factcheck/cleansel/internal/model"
 	"github.com/factcheck/cleansel/internal/numeric"
+	"github.com/factcheck/cleansel/internal/obs"
 	"github.com/factcheck/cleansel/internal/query"
 	"github.com/factcheck/cleansel/internal/rng"
 )
@@ -189,7 +190,15 @@ type DiscreteAffine struct {
 	// maxStates caps the convolution support; larger requests error out so
 	// callers can fall back to Monte Carlo.
 	maxStates int
+	// rec, when set via Observe, receives write-only convolution trace
+	// counters; it never influences results.
+	rec *obs.Recorder
 }
+
+// Observe attaches a trace recorder ticking convolution work counters
+// (nil detaches). Recording is write-only: probabilities are
+// bit-identical with or without it.
+func (e *DiscreteAffine) Observe(rec *obs.Recorder) { e.rec = rec }
 
 // DefaultMaxStates bounds exact convolution work (supports ≤ 6 and claims
 // over tens of objects stay far below it).
@@ -254,7 +263,7 @@ func (e *DiscreteAffine) ProbErr(T model.Set) (float64, error) {
 		parts = append(parts, e.dists[i])
 		offset -= e.a[i] * e.u[i]
 	}
-	d, err := dist.WeightedSum(offset, weights, parts)
+	d, err := dist.WeightedSumRec(e.rec, offset, weights, parts)
 	if err != nil {
 		return 0, err
 	}
@@ -271,6 +280,7 @@ func (e *DiscreteAffine) ProbErr(T model.Set) (float64, error) {
 type Hybrid struct {
 	exact *DiscreteAffine
 	mc    *MonteCarlo
+	rec   *obs.Recorder
 }
 
 // NewHybrid builds the combined evaluator.
@@ -286,12 +296,21 @@ func NewHybrid(db *model.DB, f *query.Affine, tau float64, maxStates, samples in
 	return &Hybrid{exact: exact, mc: mc}, nil
 }
 
+// Observe attaches a trace recorder to the exact path and counts each
+// evaluation's route (maxpr_exact vs maxpr_mc_fallback) on it.
+func (h *Hybrid) Observe(rec *obs.Recorder) {
+	h.exact.Observe(rec)
+	h.rec = rec
+}
+
 // Prob implements Evaluator.
 func (h *Hybrid) Prob(T model.Set) float64 {
 	p, err := h.exact.ProbErr(T)
 	if err == nil {
+		h.rec.Add("maxpr_exact", 1)
 		return p
 	}
+	h.rec.Add("maxpr_mc_fallback", 1)
 	return h.mc.Prob(T)
 }
 

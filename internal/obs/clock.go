@@ -1,0 +1,52 @@
+//lint:allow walltime — obs IS the sanctioned clock: the one place wall time enters the system, injected at the server boundary and never held by engine packages
+
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is the wall-time source behind span timings and latency
+// histograms. It exists so that exactly one implementation reads the
+// real clock and everything else receives it by injection: the server
+// boundary constructs Recorders from a Clock, tests substitute a fake,
+// and deterministic engine packages never see the interface at all
+// (cleansel-lint's walltime analyzer rejects engine references to
+// Clock, SystemClock, and NewRecorder).
+type Clock interface {
+	// Now returns the current time. Implementations must be safe for
+	// concurrent use.
+	Now() time.Time
+}
+
+// SystemClock reads the real wall clock via time.Now.
+var SystemClock Clock = systemClock{}
+
+type systemClock struct{}
+
+func (systemClock) Now() time.Time { return time.Now() }
+
+// FakeClock is a manually advanced Clock for tests: deterministic span
+// durations without sleeping.
+type FakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+// NewFakeClock returns a FakeClock starting at start.
+func NewFakeClock(start time.Time) *FakeClock { return &FakeClock{t: start} }
+
+// Now returns the fake's current time.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+// Advance moves the fake clock forward by d.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}

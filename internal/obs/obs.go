@@ -1,0 +1,98 @@
+// Package obs is cleansel's stdlib-only observability subsystem:
+// process metrics, per-request solve-stage tracing, and the plumbing
+// that carries both through a request without ever influencing a
+// computation.
+//
+// Three pieces:
+//
+//   - The metrics core (Registry, Counter, CounterVec, Histogram,
+//     HistogramVec, gauge functions) — monotonic counters, point-in-time
+//     gauges, and fixed-bucket latency histograms with snapshot
+//     semantics, exposed in the Prometheus text exposition format
+//     (Registry.WritePrometheus / Registry as an http.Handler).
+//   - The Recorder — a write-only, request-scoped sink for solve-stage
+//     spans and engine counters, carried via context.Context
+//     (WithRecorder / FromContext). Engine layers tick it; nothing ever
+//     reads it on the computation path, so every figure and cached
+//     response stays byte-identical whether a recorder is attached or
+//     not. All Recorder methods are nil-receiver safe: engine code
+//     ticks unconditionally and pays a few nanoseconds when no one is
+//     listening.
+//   - The Clock — the single sanctioned wall-time source. Deterministic
+//     engine packages may depend on *Recorder (it is injected, opaque,
+//     and off-path) but must not hold a Clock or mint Recorders
+//     themselves; the clock is injected once at the server boundary.
+//     cleansel-lint's walltime analyzer enforces both directions.
+//
+// Request IDs (WithRequestID / RequestID / NewRequestID) ride the same
+// context so access logs, error envelopes, and trace output all carry
+// the identifier that correlates them.
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+)
+
+type ctxKey int
+
+const (
+	recorderKey ctxKey = iota
+	requestIDKey
+)
+
+// WithRecorder returns ctx carrying rec. Engine layers retrieve it with
+// FromContext and tick spans and counters into it.
+func WithRecorder(ctx context.Context, rec *Recorder) context.Context {
+	return context.WithValue(ctx, recorderKey, rec)
+}
+
+// FromContext returns the Recorder carried by ctx, or nil. A nil
+// Recorder is safe to tick — every method no-ops — so callers never
+// need to branch.
+func FromContext(ctx context.Context) *Recorder {
+	rec, _ := ctx.Value(recorderKey).(*Recorder)
+	return rec
+}
+
+// WithRequestID returns ctx carrying the request identifier.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey, id)
+}
+
+// RequestID returns the request identifier carried by ctx, or "".
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}
+
+// NewRequestID returns a fresh 16-hex-character request identifier.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is a broken platform; a constant ID keeps
+		// serving (correlation degrades, requests do not).
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ValidRequestID reports whether id is acceptable as a propagated
+// request identifier: 1–64 characters from [A-Za-z0-9._-]. Anything
+// else is replaced rather than echoed into logs and headers.
+func ValidRequestID(id string) bool {
+	if len(id) == 0 || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}

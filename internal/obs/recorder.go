@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"log/slog"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Recorder is a write-only, request-scoped sink for solve-stage spans
+// and engine counters. The server attaches one per request via
+// WithRecorder; engine layers tick it through FromContext. It is
+// strictly off-path: nothing on the computation side ever reads it, so
+// attaching a Recorder cannot change any figure, rank, or cached byte
+// (pinned by TestRecorderOffPath at the root package).
+//
+// All methods are safe on a nil *Recorder (they no-op) and safe for
+// concurrent use — parallel workers tick the same request's recorder.
+type Recorder struct {
+	clock Clock
+
+	mu       sync.Mutex
+	stages   map[string]*stageAgg
+	counters map[string]int64
+}
+
+type stageAgg struct {
+	count int64
+	total time.Duration
+}
+
+// NewRecorder returns a Recorder timing spans with clock (nil means
+// SystemClock). Only boundary code (the server, tests) constructs
+// Recorders; engine packages receive them already built.
+func NewRecorder(clock Clock) *Recorder {
+	if clock == nil {
+		clock = SystemClock
+	}
+	return &Recorder{
+		clock:    clock,
+		stages:   make(map[string]*stageAgg),
+		counters: make(map[string]int64),
+	}
+}
+
+// Span starts timing the named stage and returns the function that ends
+// it. Re-entering a stage accumulates: total duration and invocation
+// count are both kept.
+//
+//	defer rec.Span("singleton_benefits")()
+func (r *Recorder) Span(stage string) func() {
+	if r == nil {
+		return func() {}
+	}
+	start := r.clock.Now()
+	return func() {
+		d := r.clock.Now().Sub(start)
+		if d < 0 {
+			d = 0
+		}
+		r.mu.Lock()
+		agg := r.stages[stage]
+		if agg == nil {
+			agg = &stageAgg{}
+			r.stages[stage] = agg
+		}
+		agg.count++
+		agg.total += d
+		r.mu.Unlock()
+	}
+}
+
+// Add accumulates n into the named counter.
+func (r *Recorder) Add(name string, n int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.counters[name] += n
+	r.mu.Unlock()
+}
+
+// A Stage is one aggregated span in a Trace.
+type Stage struct {
+	Name    string  `json:"name"`
+	Count   int64   `json:"count"`
+	TotalMS float64 `json:"total_ms"`
+}
+
+// A CounterValue is one engine counter in a Trace.
+type CounterValue struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// A Trace is a consistent point-in-time summary of a Recorder, sorted
+// by name so its rendering is deterministic. It is what ?trace=1
+// responses embed and what access logs flatten into attrs.
+type Trace struct {
+	Stages   []Stage        `json:"stages"`
+	Counters []CounterValue `json:"counters,omitempty"`
+}
+
+// Snapshot returns the Trace accumulated so far. Safe on nil (empty
+// trace) and concurrent with further ticks.
+func (r *Recorder) Snapshot() Trace {
+	if r == nil {
+		return Trace{}
+	}
+	r.mu.Lock()
+	tr := Trace{
+		Stages:   make([]Stage, 0, len(r.stages)),
+		Counters: make([]CounterValue, 0, len(r.counters)),
+	}
+	for name, agg := range r.stages {
+		tr.Stages = append(tr.Stages, Stage{
+			Name:    name,
+			Count:   agg.count,
+			TotalMS: float64(agg.total.Microseconds()) / 1000,
+		})
+	}
+	for name, v := range r.counters {
+		tr.Counters = append(tr.Counters, CounterValue{Name: name, Value: v})
+	}
+	r.mu.Unlock()
+	sort.Slice(tr.Stages, func(i, j int) bool { return tr.Stages[i].Name < tr.Stages[j].Name })
+	sort.Slice(tr.Counters, func(i, j int) bool { return tr.Counters[i].Name < tr.Counters[j].Name })
+	return tr
+}
+
+// StageAttrs returns the trace's stages as a slog group attribute
+// (stage name → total milliseconds, sorted), for structured access
+// logs.
+func (t Trace) StageAttrs() slog.Attr {
+	args := make([]any, 0, len(t.Stages))
+	for _, s := range t.Stages {
+		args = append(args, slog.Float64(s.Name, s.TotalMS))
+	}
+	return slog.Group("stages", args...)
+}
+
+// CounterAttrs returns the trace's counters as a slog group attribute.
+func (t Trace) CounterAttrs() slog.Attr {
+	args := make([]any, 0, len(t.Counters))
+	for _, c := range t.Counters {
+		args = append(args, slog.Int64(c.Name, c.Value))
+	}
+	return slog.Group("ops", args...)
+}

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Span("solve")()
+	r.Add("items", 5)
+	tr := r.Snapshot()
+	if len(tr.Stages) != 0 || len(tr.Counters) != 0 {
+		t.Fatalf("nil recorder snapshot must be empty, got %+v", tr)
+	}
+}
+
+func TestRecorderSpansAndCounters(t *testing.T) {
+	clock := NewFakeClock(time.Unix(1000, 0))
+	r := NewRecorder(clock)
+
+	end := r.Span("solve")
+	clock.Advance(250 * time.Millisecond)
+	end()
+	end = r.Span("solve")
+	clock.Advance(50 * time.Millisecond)
+	end()
+	r.Span("compile")() // zero-duration span still counts
+	r.Add("conv_ops", 7)
+	r.Add("conv_ops", 3)
+
+	tr := r.Snapshot()
+	if len(tr.Stages) != 2 {
+		t.Fatalf("stages = %+v", tr.Stages)
+	}
+	// Sorted by name: compile before solve.
+	if tr.Stages[0].Name != "compile" || tr.Stages[0].Count != 1 || tr.Stages[0].TotalMS != 0 {
+		t.Fatalf("compile stage = %+v", tr.Stages[0])
+	}
+	if tr.Stages[1].Name != "solve" || tr.Stages[1].Count != 2 || tr.Stages[1].TotalMS != 300 {
+		t.Fatalf("solve stage = %+v", tr.Stages[1])
+	}
+	if len(tr.Counters) != 1 || tr.Counters[0] != (CounterValue{Name: "conv_ops", Value: 10}) {
+		t.Fatalf("counters = %+v", tr.Counters)
+	}
+}
+
+func TestRecorderContextPlumbing(t *testing.T) {
+	if FromContext(context.Background()) != nil {
+		t.Fatal("empty context must yield nil recorder")
+	}
+	r := NewRecorder(nil)
+	ctx := WithRecorder(context.Background(), r)
+	if FromContext(ctx) != r {
+		t.Fatal("recorder did not round-trip through the context")
+	}
+	ctx = WithRequestID(ctx, "abc-123")
+	if RequestID(ctx) != "abc-123" {
+		t.Fatal("request id did not round-trip")
+	}
+	if RequestID(context.Background()) != "" {
+		t.Fatal("missing request id must be empty")
+	}
+}
+
+func TestNewRequestID(t *testing.T) {
+	a, b := NewRequestID(), NewRequestID()
+	if !ValidRequestID(a) || !ValidRequestID(b) {
+		t.Fatalf("generated ids invalid: %q %q", a, b)
+	}
+	if a == b {
+		t.Fatalf("two generated ids collided: %q", a)
+	}
+	for _, bad := range []string{"", "has space", "semi;colon", string(make([]byte, 65))} {
+		if ValidRequestID(bad) {
+			t.Fatalf("id %q should be invalid", bad)
+		}
+	}
+	if !ValidRequestID("Trace-Id_01.x") {
+		t.Fatal("reasonable propagated id rejected")
+	}
+}
+
+// TestRecorderConcurrentWrites exercises concurrent Span/Add/Snapshot
+// from many goroutines — the shape of a parallel Select ticking one
+// request recorder — under the race detector (CI race job).
+func TestRecorderConcurrentWrites(t *testing.T) {
+	r := NewRecorder(nil)
+	const workers, iters = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				end := r.Span("ev")
+				r.Add("items", 1)
+				end()
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		r.Snapshot()
+	}
+	wg.Wait()
+	tr := r.Snapshot()
+	if tr.Counters[0].Value != workers*iters {
+		t.Fatalf("items = %d, want %d", tr.Counters[0].Value, workers*iters)
+	}
+	if tr.Stages[0].Count != workers*iters {
+		t.Fatalf("spans = %d, want %d", tr.Stages[0].Count, workers*iters)
+	}
+}

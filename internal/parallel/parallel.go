@@ -36,6 +36,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/factcheck/cleansel/internal/obs"
 	"github.com/factcheck/cleansel/internal/rng"
 )
 
@@ -100,6 +101,12 @@ func For(ctx context.Context, n int, fn func(worker, i int) error) error {
 			return context.Cause(ctx)
 		}
 		return nil
+	}
+	// Write-only trace ticks; the recorder never influences sharding,
+	// scheduling, or results.
+	if rec := obs.FromContext(ctx); rec != nil {
+		rec.Add("parallel_fanouts", 1)
+		rec.Add("parallel_items", int64(n))
 	}
 	workers := Workers()
 	if workers > n {

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"sync"
+
+	"github.com/factcheck/cleansel/internal/obs"
 )
 
 // flightGroup coalesces concurrent identical computations: while a
@@ -18,9 +20,12 @@ import (
 // so one impatient client cannot kill a solve that others still want —
 // and a solve nobody wants any more stops instead of burning a core.
 type flightGroup struct {
-	mu        sync.Mutex
-	calls     map[string]*flightCall
-	coalesced uint64 // callers served by joining an in-flight call
+	mu    sync.Mutex
+	calls map[string]*flightCall
+	// coalesced counts callers served by joining an in-flight call. It
+	// is an obs.Counter so the server can register the same object on
+	// /metrics — one source for both the scrape and /healthz.
+	coalesced *obs.Counter
 }
 
 type flightCall struct {
@@ -37,15 +42,19 @@ type flightCall struct {
 }
 
 func newFlightGroup() *flightGroup {
-	return &flightGroup{calls: make(map[string]*flightCall)}
+	return newFlightGroupCounting(&obs.Counter{})
+}
+
+// newFlightGroupCounting builds a group ticking coalesced joins into
+// the given (typically metrics-registered) counter.
+func newFlightGroupCounting(coalesced *obs.Counter) *flightGroup {
+	return &flightGroup{calls: make(map[string]*flightCall), coalesced: coalesced}
 }
 
 // Coalesced returns how many callers have been served by joining an
 // already in-flight computation.
 func (g *flightGroup) Coalesced() uint64 {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.coalesced
+	return uint64(g.coalesced.Value())
 }
 
 // InFlight returns the number of joinable computations currently
@@ -72,7 +81,7 @@ func (g *flightGroup) Do(ctx context.Context, key string, fn func(context.Contex
 	g.mu.Lock()
 	if c, ok := g.calls[key]; ok && !c.abandoned {
 		c.waiters++
-		g.coalesced++
+		g.coalesced.Inc()
 		g.mu.Unlock()
 		body, shared, err = g.wait(ctx, c, true)
 		// A joined call that died of the *leader's* budget (its context

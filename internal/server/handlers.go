@@ -6,9 +6,9 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"time"
 
 	cleansel "github.com/factcheck/cleansel"
+	"github.com/factcheck/cleansel/internal/obs"
 	"github.com/factcheck/cleansel/internal/server/wire"
 )
 
@@ -49,10 +49,7 @@ func (s *Server) serveComputed(w http.ResponseWriter, r *http.Request, endpoint 
 	}
 	if body, ok := s.results.Get(key); ok {
 		w.Header().Set("X-Cache", "hit")
-		w.Header().Set("Content-Type", "application/json")
-		if _, err := w.Write(body); err != nil {
-			s.log.Error("writing cached response", "err", err)
-		}
+		s.writeResult(w, r, body, "hit")
 		return
 	}
 	// Bound this caller's wait; the coalesced computation itself is
@@ -80,10 +77,28 @@ func (s *Server) serveComputed(w http.ResponseWriter, r *http.Request, endpoint 
 		return
 	}
 	s.results.Put(key, body, int64(len(body)))
-	w.Header().Set("Content-Type", "application/json")
-	if _, err := w.Write(body); err != nil {
-		s.log.Error("writing response", "err", err)
+	s.writeResult(w, r, body, cacheStatus)
+}
+
+// writeResult writes an encoded success body. With ?trace=1 the body is
+// wrapped in an envelope carrying the request ID, cache status, and the
+// recorder's stage timings and engine op counts. The cache always holds
+// the plain body — the envelope is built per response — so tracing a
+// request never changes the bytes any other client is served.
+func (s *Server) writeResult(w http.ResponseWriter, r *http.Request, body []byte, cacheStatus string) {
+	if r.URL.Query().Get("trace") != "1" {
+		w.Header().Set("Content-Type", "application/json")
+		if _, err := w.Write(body); err != nil {
+			s.log.Error("writing response", "err", err)
+		}
+		return
 	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"result":     json.RawMessage(body),
+		"request_id": obs.RequestID(r.Context()),
+		"cache":      cacheStatus,
+		"trace":      obs.FromContext(r.Context()).Snapshot(),
+	})
 }
 
 func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
@@ -94,15 +109,20 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.serveComputed(w, r, "select", req, func(ctx context.Context) (any, error) {
+		rec := obs.FromContext(ctx)
 		db, err := s.resolveDB(req.Problem)
 		if err != nil {
 			return nil, err
 		}
+		endCompile := rec.Span("compile")
 		task, err := req.BuildTask(db)
+		endCompile()
 		if err != nil {
 			return nil, err
 		}
+		endSolve := rec.Span("solve")
 		res, err := cleansel.SelectContext(ctx, task)
+		endSolve()
 		if err != nil {
 			return nil, err
 		}
@@ -118,15 +138,20 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.serveComputed(w, r, "rank", req, func(ctx context.Context) (any, error) {
+		rec := obs.FromContext(ctx)
 		db, err := s.resolveDB(req.Problem)
 		if err != nil {
 			return nil, err
 		}
+		endCompile := rec.Span("compile")
 		work, set, measure, err := req.BuildRank(db)
+		endCompile()
 		if err != nil {
 			return nil, err
 		}
+		endSolve := rec.Span("solve")
 		ranked, err := cleansel.RankObjectsContext(ctx, work, set, measure)
+		endSolve()
 		if err != nil {
 			return nil, err
 		}
@@ -142,15 +167,20 @@ func (s *Server) handleAssess(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.serveComputed(w, r, "assess", req, func(ctx context.Context) (any, error) {
+		rec := obs.FromContext(ctx)
 		db, err := s.resolveDB(req.Problem)
 		if err != nil {
 			return nil, err
 		}
+		endCompile := rec.Span("compile")
 		work, set, err := req.BuildAssess(db)
+		endCompile()
 		if err != nil {
 			return nil, err
 		}
+		endSolve := rec.Span("solve")
 		rep, err := cleansel.AssessClaimContext(ctx, work, set)
+		endSolve()
 		if err != nil {
 			return nil, err
 		}
@@ -197,12 +227,16 @@ func (s *Server) handleDatasetGet(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, datasetInfo{ID: rec.ID, Name: rec.Name, Objects: rec.Objects})
 }
 
+// handleHealthz reports liveness and statistics. Every number here is
+// read from the same objects the /metrics registry exposes (the
+// instrumented cache counters, the flight group's coalesced counter,
+// the request CounterVec), so the two views cannot disagree.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	hits, misses := s.results.Stats()
 	health := map[string]any{
 		"status":         "ok",
-		"uptime_seconds": int64(time.Since(s.start).Seconds()),
-		"requests":       s.requests.Load(),
+		"uptime_seconds": int64(s.clock.Now().Sub(s.start).Seconds()),
+		"requests":       s.met.requestsSeen(),
 		"datasets":       s.store.Len(),
 		"dataset_bytes":  s.store.Bytes(),
 		"coalesced":      s.flights.Coalesced(),

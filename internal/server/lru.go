@@ -3,6 +3,8 @@ package server
 import (
 	"container/list"
 	"sync"
+
+	"github.com/factcheck/cleansel/internal/obs"
 )
 
 // lru is a mutex-guarded least-recently-used map bounded by an entry
@@ -21,7 +23,12 @@ type lru[V any] struct {
 	ll         *list.List
 	items      map[string]*list.Element
 
-	hits, misses uint64
+	// Hit/miss counts live in obs.Counters so the same objects can be
+	// registered on /metrics: the JSON stats view and the Prometheus
+	// scrape then read one source and can never disagree. newLRU
+	// allocates standalone counters; instrument swaps in registered
+	// ones before the cache serves traffic.
+	hits, misses *obs.Counter
 }
 
 type lruEntry[V any] struct {
@@ -40,7 +47,18 @@ func newLRU[V any](maxEntries int, maxBytes int64) *lru[V] {
 		maxBytes:   maxBytes,
 		ll:         list.New(),
 		items:      make(map[string]*list.Element),
+		hits:       &obs.Counter{},
+		misses:     &obs.Counter{},
 	}
+}
+
+// instrument replaces the hit/miss counters with registered ones. Call
+// before the cache serves traffic (counts already accumulated on the
+// standalone counters are not carried over).
+func (c *lru[V]) instrument(hits, misses *obs.Counter) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hits, c.misses = hits, misses
 }
 
 // Get returns the cached value and marks it most recently used.
@@ -49,10 +67,10 @@ func (c *lru[V]) Get(key string) (V, bool) {
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
-		c.hits++
+		c.hits.Inc()
 		return el.Value.(*lruEntry[V]).val, true
 	}
-	c.misses++
+	c.misses.Inc()
 	var zero V
 	return zero, false
 }
@@ -142,5 +160,5 @@ func (c *lru[V]) Gen() uint64 {
 func (c *lru[V]) Stats() (hits, misses uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.hits, c.misses
+	return uint64(c.hits.Value()), uint64(c.misses.Value())
 }

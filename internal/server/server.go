@@ -40,10 +40,12 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"github.com/factcheck/cleansel/internal/obs"
 	"github.com/factcheck/cleansel/internal/server/persist"
 )
 
@@ -86,6 +88,12 @@ type Config struct {
 	// CacheSnapshotEvery is the period between cache snapshots when
 	// CacheSnapshot is set (default 1m).
 	CacheSnapshotEvery time.Duration
+	// Clock supplies wall time for uptime, request latency, snapshot
+	// ages, and per-request trace recorders; nil uses the system clock.
+	// The serving layer is where wall time enters the system: the
+	// engines below never read a clock (the cleansel-lint walltime
+	// contract) — they only tick the obs.Recorder this clock feeds.
+	Clock obs.Clock
 }
 
 func (c Config) withDefaults() Config {
@@ -110,19 +118,23 @@ func (c Config) withDefaults() Config {
 	if c.CacheSnapshotEvery <= 0 {
 		c.CacheSnapshotEvery = time.Minute
 	}
+	if c.Clock == nil {
+		c.Clock = obs.SystemClock
+	}
 	return c
 }
 
 // Server is the cleanseld request handler.
 type Server struct {
-	cfg      Config
-	log      *slog.Logger
-	store    *datasetStore
-	results  *lru[[]byte]
-	flights  *flightGroup  // coalesces identical in-flight solves
-	sem      chan struct{} // counting semaphore over solver goroutines
-	start    time.Time
-	requests atomic.Uint64
+	cfg     Config
+	log     *slog.Logger
+	clock   obs.Clock
+	store   *datasetStore
+	results *lru[[]byte]
+	flights *flightGroup  // coalesces identical in-flight solves
+	sem     chan struct{} // counting semaphore over solver goroutines
+	start   time.Time
+	met     *serverMetrics // the /metrics surface; also feeds /healthz
 
 	// Durable-state machinery; zero/nil when the server is in-memory
 	// only (the default).
@@ -145,11 +157,11 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:     cfg,
 		log:     cfg.Logger,
+		clock:   cfg.Clock,
 		results: newLRU[[]byte](cfg.CacheSize, cfg.CacheBytes),
-		flights: newFlightGroup(),
 		sem:     make(chan struct{}, cfg.MaxInflight),
-		start:   time.Now(),
 	}
+	s.start = s.clock.Now()
 	if cfg.DataDir != "" {
 		disk, err := persist.OpenDatasets(filepath.Join(cfg.DataDir, "datasets"),
 			cfg.MaxDatasets, cfg.MaxDatasetBytes, cfg.Logger)
@@ -166,6 +178,10 @@ func New(cfg Config) (*Server, error) {
 		s.snapDone = make(chan struct{})
 		go s.snapshotLoop(cfg.CacheSnapshotEvery)
 	}
+	// Metrics come last so gauges close over fully constructed state;
+	// the flight group takes its coalesced counter from the registry.
+	s.met = newServerMetrics(s)
+	s.flights = newFlightGroupCounting(s.met.coalesced)
 	return s, nil
 }
 
@@ -210,7 +226,7 @@ func (s *Server) writeSnapshot() {
 		s.log.Error("writing cache snapshot", "path", s.snapPath, "err", err)
 		return
 	}
-	s.lastSnap.Store(time.Now().Unix())
+	s.lastSnap.Store(s.clock.Now().Unix())
 	s.lastSnapGen.Store(gen)
 }
 
@@ -243,28 +259,43 @@ func (s *Server) Close() {
 	})
 }
 
+// persistLoadErrors counts unusable files detected in the durable
+// state: corrupt dataset files plus unreadable cache snapshots. Both
+// /healthz and the cleanseld_persist_load_errors gauge read it.
+func (s *Server) persistLoadErrors() uint64 {
+	n := s.snapLoadErrors.Load()
+	if s.disk != nil {
+		n += s.disk.LoadErrors()
+	}
+	return n
+}
+
+// snapshotAge returns seconds since the newest good cache snapshot,
+// or -1 before the first.
+func (s *Server) snapshotAge() int64 {
+	t := s.lastSnap.Load()
+	if t <= 0 {
+		return -1
+	}
+	return max(0, int64(s.clock.Now().Sub(time.Unix(t, 0)).Seconds()))
+}
+
 // persistStats summarizes the durable-state layer for /healthz; nil
 // when the server is in-memory only (the default).
 func (s *Server) persistStats() map[string]any {
 	if s.disk == nil && s.snapPath == "" {
 		return nil
 	}
-	loadErrors := s.snapLoadErrors.Load()
 	var onDisk int
 	var diskBytes int64
 	if s.disk != nil {
 		onDisk, diskBytes = s.disk.Len(), s.disk.Bytes()
-		loadErrors += s.disk.LoadErrors()
-	}
-	age := int64(-1)
-	if t := s.lastSnap.Load(); t > 0 {
-		age = max(0, int64(time.Since(time.Unix(t, 0)).Seconds()))
 	}
 	return map[string]any{
 		"datasets_on_disk":     onDisk,
 		"dataset_disk_bytes":   diskBytes,
-		"snapshot_age_seconds": age,
-		"load_errors":          loadErrors,
+		"snapshot_age_seconds": s.snapshotAge(),
+		"load_errors":          s.persistLoadErrors(),
 	}
 }
 
@@ -277,14 +308,18 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/rank", s.handleRank)
 	mux.HandleFunc("POST /v1/assess", s.handleAssess)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.Handle("GET /metrics", s.met.registry)
 	return s.accessLog(mux)
 }
 
-// apiError is a structured, serializable request failure.
+// apiError is a structured, serializable request failure. RequestID is
+// stamped by writeError from the response's X-Request-ID header, so a
+// client error report can be matched to the daemon's access log line.
 type apiError struct {
-	Status  int    `json:"-"`
-	Code    string `json:"code"`
-	Message string `json:"message"`
+	Status    int    `json:"-"`
+	Code      string `json:"code"`
+	Message   string `json:"message"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
 func (e *apiError) Error() string { return e.Message }
@@ -315,9 +350,13 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 			ae = badRequest(err)
 		}
 	}
+	// Copy before stamping the request ID: a coalesced solve hands the
+	// same error value to every waiter, and each response has its own ID.
+	env := *ae
+	env.RequestID = w.Header().Get("X-Request-ID")
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(ae.Status)
-	if encErr := json.NewEncoder(w).Encode(map[string]*apiError{"error": ae}); encErr != nil {
+	if encErr := json.NewEncoder(w).Encode(map[string]*apiError{"error": &env}); encErr != nil {
 		s.log.Error("encoding error response", "err", encErr)
 	}
 }
@@ -408,28 +447,56 @@ func (r *statusRecorder) Write(b []byte) (int, error) {
 	return n, err
 }
 
-// accessLog wraps next with request counting and structured access
-// logging: method, path, status, latency, response size, cache status.
+// accessLog wraps next with the per-request observability plumbing:
+// it assigns or propagates the X-Request-ID, attaches a fresh
+// obs.Recorder to the context for the solve stages to tick, records
+// the request into the metrics (endpoint/status counters and the
+// latency histogram), and emits one structured access-log line with
+// request ID, cache status, and the trace's stage/op totals.
 func (s *Server) accessLog(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		s.requests.Add(1)
+		reqID := r.Header.Get("X-Request-ID")
+		if !obs.ValidRequestID(reqID) {
+			reqID = obs.NewRequestID()
+		}
+		w.Header().Set("X-Request-ID", reqID)
+		trace := obs.NewRecorder(s.clock)
+		ctx := obs.WithRecorder(obs.WithRequestID(r.Context(), reqID), trace)
+		r = r.WithContext(ctx)
+
+		s.met.inflight.Add(1)
 		rec := &statusRecorder{ResponseWriter: w}
-		begin := time.Now()
+		begin := s.clock.Now()
 		next.ServeHTTP(rec, r)
+		elapsed := s.clock.Now().Sub(begin)
 		status := rec.status
 		if status == 0 {
 			status = http.StatusOK
 		}
+		// Count the completed request before dropping in-flight so the
+		// requests-seen view (/healthz) never moves backwards.
+		s.met.observeRequest(endpointOf(r.URL.Path), strconv.Itoa(status), elapsed)
+		s.met.inflight.Add(-1)
+		tr := trace.Snapshot()
+		s.met.absorb(tr)
+
 		attrs := []any{
 			"method", r.Method,
 			"path", r.URL.Path,
 			"status", status,
-			"dur_ms", float64(time.Since(begin).Microseconds()) / 1000,
+			"dur_ms", float64(elapsed.Microseconds()) / 1000,
 			"bytes", rec.bytes,
 			"remote", r.RemoteAddr,
+			"request_id", reqID,
 		}
 		if cache := rec.Header().Get("X-Cache"); cache != "" {
 			attrs = append(attrs, "cache", cache)
+		}
+		if len(tr.Stages) > 0 {
+			attrs = append(attrs, tr.StageAttrs())
+		}
+		if len(tr.Counters) > 0 {
+			attrs = append(attrs, tr.CounterAttrs())
 		}
 		s.log.Info("request", attrs...)
 	})

@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	cleansel "github.com/factcheck/cleansel"
+	"github.com/factcheck/cleansel/internal/obs"
 	"github.com/factcheck/cleansel/internal/server/persist"
 	"github.com/factcheck/cleansel/internal/server/wire"
 )
@@ -48,10 +49,20 @@ type storedDataset struct {
 type datasetStore struct {
 	cache *lru[*storedDataset]
 	disk  *persist.DatasetDir // nil = in-memory only
+	// reloads counts datasets recompiled from their disk file after an
+	// in-memory eviction or restart — each is a full decode + engine
+	// compile, so a climbing rate means the memory budget is too small
+	// for the working set. Swapped for a metrics-registered counter by
+	// the server.
+	reloads *obs.Counter
 }
 
 func newDatasetStore(maxEntries int, maxBytes int64, disk *persist.DatasetDir) *datasetStore {
-	return &datasetStore{cache: newLRU[*storedDataset](maxEntries, maxBytes), disk: disk}
+	return &datasetStore{
+		cache:   newLRU[*storedDataset](maxEntries, maxBytes),
+		disk:    disk,
+		reloads: &obs.Counter{},
+	}
 }
 
 // datasetID derives the content-addressed ID of an object list and the
@@ -158,6 +169,7 @@ func (s *datasetStore) Get(id string) (*storedDataset, bool) {
 	}
 	rec := &storedDataset{ID: id, Name: name, DB: db, Objects: db.N(), Bytes: int64(len(canonical))}
 	s.cache.Put(id, rec, rec.Bytes)
+	s.reloads.Inc()
 	return rec, true
 }
 

@@ -55,7 +55,40 @@ curl -s -D "$workdir/headers" -o "$workdir/select3" \
 grep -qi '^x-cache: hit' "$workdir/headers" || { echo "FAIL: repeat select not a cache hit"; cat "$workdir/headers"; exit 1; }
 diff "$workdir/select2" "$workdir/select3" || { echo "FAIL: cached answer differs"; exit 1; }
 
+# ?trace=1 wraps the same result in an envelope carrying the request ID
+# and per-stage solve timings; served from cache, the payload must still
+# be the cached bytes.
+curl -s -o "$workdir/traced" "$base/v1/select?trace=1" -X POST --data @"$workdir/byref.json"
+jq -e '.cache == "hit" and (.request_id | length) > 0 and (.trace | type) == "object"' \
+  "$workdir/traced" >/dev/null || { echo "FAIL: malformed trace envelope"; cat "$workdir/traced"; exit 1; }
+diff <(jq -S .result "$workdir/traced") <(jq -S . "$workdir/select3") \
+  || { echo "FAIL: traced result differs from cached answer"; exit 1; }
+# A fresh (uncached) traced solve must report compile and solve stages.
+jq '.budget = ((.budget // 2) + 1)' "$workdir/byref.json" > "$workdir/byref2.json"
+curl -s -o "$workdir/traced2" "$base/v1/select?trace=1" -X POST --data @"$workdir/byref2.json"
+jq -e '.cache == "miss" and ([.trace.stages[].name] | (index("compile") != null and index("solve") != null))' \
+  "$workdir/traced2" >/dev/null || { echo "FAIL: fresh trace missing solve stages"; cat "$workdir/traced2"; exit 1; }
+
+# /metrics must expose the traffic above in Prometheus text format:
+# 5 completed selects (miss, miss, hit, traced hit, traced miss) and
+# matching result-cache outcome counts.
+status=$(curl -s -o "$workdir/metrics" -w '%{http_code}' "$base/metrics")
+[ "$status" = 200 ] || { echo "FAIL: /metrics -> $status"; exit 1; }
+metric() { # prints the sample value; runs in $(...), so failures go to stderr
+  awk -v want="$1" '$1 == want { print $2; found = 1 } END { if (!found) exit 1 }' "$workdir/metrics" \
+    || { echo "FAIL: metric $1 missing from /metrics" >&2; exit 1; }
+}
+v=$(metric 'cleanseld_requests_total{endpoint="select",code="200"}')
+[ "$v" = 5 ] || { echo "FAIL: select request count $v != 5"; exit 1; }
+v=$(metric 'cleanseld_request_seconds_count{endpoint="select"}')
+[ "$v" = 5 ] || { echo "FAIL: select latency histogram count $v != 5"; exit 1; }
+v=$(metric 'cleanseld_cache_requests_total{status="hit"}')
+[ "$v" = 2 ] || { echo "FAIL: cache hits $v != 2"; exit 1; }
+v=$(metric 'cleanseld_cache_requests_total{status="miss"}')
+[ "$v" = 3 ] || { echo "FAIL: cache misses $v != 3"; exit 1; }
+metric 'cleanseld_solve_stage_seconds_total{stage="solve"}' >/dev/null
+
 kill "$pid"
 wait "$pid" 2>/dev/null || true
 pid=""
-echo "smoke OK: $base served healthz, datasets, select (miss+hit)"
+echo "smoke OK: $base served healthz, datasets, select (miss+hit), trace, metrics"
