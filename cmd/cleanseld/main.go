@@ -7,7 +7,11 @@
 //	POST /v1/select        solve a selection task (MinVar/MaxPr)
 //	POST /v1/rank          benefit-per-cost ranking of every object
 //	POST /v1/assess        claim-quality report (bias/duplicity/fragility)
-//	GET  /healthz          liveness and cache statistics
+//	POST /v1/sessions      open an interactive cleaning session (adaptive loop)
+//	GET  /v1/sessions/{id} session state and current recommendation
+//	POST /v1/sessions/{id}/clean  report one cleaned value, advance the session
+//	DELETE /v1/sessions/{id}      end a session early
+//	GET  /healthz          liveness and cache/session statistics
 //	GET  /metrics          Prometheus text-format metrics
 //
 // A quickstart against the examples/quickstart dataset:
@@ -30,6 +34,14 @@
 // periodically (-cache-snapshot-every) and on graceful shutdown, so a
 // restarted daemon resumes with its datasets and warm cache. Damaged
 // state on disk is skipped and counted on /healthz, never fatal.
+//
+// Interactive sessions serve the paper's adaptive loop statefully:
+// create one with a problem, goal, tau, and budget; follow its
+// recommendation; report each cleaned value back; repeat until the
+// claim is countered or the budget runs out. Idle sessions expire
+// after -session-ttl, at most -session-cap are live at once (least
+// recently used evicted beyond that), and -session-snapshot persists
+// them across restarts.
 //
 // Observability: GET /metrics serves request, cache, pool, and solve-
 // stage metrics in Prometheus text format. Every response carries an
@@ -80,6 +92,9 @@ func run(args []string, errw *os.File) int {
 		cacheSnap   = fs.String("cache-snapshot", "", "file the result cache is snapshotted to and restored from (empty = no snapshots)")
 		snapEvery   = fs.Duration("cache-snapshot-every", time.Minute, "period between result-cache snapshots (with -cache-snapshot)")
 		debugAddr   = fs.String("debug-addr", "", "listen address for the pprof debug server (empty = disabled; keep it off public interfaces)")
+		sessionTTL  = fs.Duration("session-ttl", 30*time.Minute, "idle lifetime of an interactive session (negative = never expire)")
+		sessionCap  = fs.Int("session-cap", 256, "maximum live interactive sessions (least recently used evicted beyond)")
+		sessionSnap = fs.String("session-snapshot", "", "file live sessions are snapshotted to and restored from (empty = in-memory only)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(errw, "usage: cleanseld [flags]")
@@ -112,6 +127,9 @@ func run(args []string, errw *os.File) int {
 		DataDir:            *dataDir,
 		CacheSnapshot:      *cacheSnap,
 		CacheSnapshotEvery: *snapEvery,
+		SessionTTL:         *sessionTTL,
+		SessionCap:         *sessionCap,
+		SessionSnapshot:    *sessionSnap,
 	})
 	if err != nil {
 		logger.Error("initializing durable state", "err", err)

@@ -62,6 +62,42 @@ type Trace struct {
 	Countered bool
 }
 
+// NextAdaptiveStep is the decide-step every adaptive policy shares (the
+// same rule the served session stepper applies): among uncleaned objects
+// whose cost fits the remaining budget and whose one-step benefit is
+// positive, pick the one maximizing benefit-per-cost — strictly greater
+// wins, so the lowest object ID breaks ties. It returns the chosen
+// object with its benefit and ratio, or best = -1 when no affordable
+// step improves. The benefit function is consulted exactly once per
+// candidate, in ascending ID order.
+func NextAdaptiveStep(costs []float64, cleaned []bool, remaining float64,
+	benefit func(o int) float64) (best int, bestB, bestR float64) {
+	best, bestB, bestR = -1, 0, 0
+	for o := range costs {
+		if cleaned[o] || !fitsBudget(0, costs[o], remaining) {
+			continue
+		}
+		b := benefit(o)
+		if b <= 0 {
+			continue
+		}
+		if r := ratio(b, costs[o]); r > bestR {
+			best, bestB, bestR = o, b, r
+		}
+	}
+	return best, bestB, bestR
+}
+
+// FitsBudget reports whether adding cost c to spent stays within budget
+// under the round-off tolerance all selectors share. Exported for the
+// session layer, which must accept exactly the cleaning actions the
+// simulators would take.
+func FitsBudget(spent, c, budget float64) bool { return fitsBudget(spent, c, budget) }
+
+// ValidateBudget rejects NaN or negative budgets with the same rule the
+// selectors apply.
+func ValidateBudget(budget float64) error { return validateBudget(budget) }
+
 // Run executes the policy against the hidden truth vector (indexed by
 // object ID) under the given budget. The caller's database is not
 // mutated.
@@ -76,6 +112,7 @@ func (a *AdaptiveMaxPr) Run(truth []float64, budget float64) (Trace, error) {
 	objs := append([]model.Object(nil), a.db.Objects...)
 	work := &model.DB{Objects: objs}
 	baseline := a.f.Eval(a.db.Currents())
+	costs := work.Costs()
 
 	var tr Trace
 	remaining := budget
@@ -85,19 +122,9 @@ func (a *AdaptiveMaxPr) Run(truth []float64, budget float64) (Trace, error) {
 		if err != nil {
 			return Trace{}, err
 		}
-		best, bestR := -1, 0.0
-		for o := 0; o < work.N(); o++ {
-			if cleaned[o] || !fitsBudget(0, work.Objects[o].Cost, remaining) {
-				continue
-			}
-			p := eval.Prob(model.NewSet(o))
-			if p <= 0 {
-				continue
-			}
-			if r := ratio(p, work.Objects[o].Cost); r > bestR {
-				best, bestR = o, r
-			}
-		}
+		best, _, _ := NextAdaptiveStep(costs, cleaned, remaining, func(o int) float64 {
+			return eval.Prob(model.NewSet(o))
+		})
 		if best < 0 {
 			break
 		}
@@ -115,6 +142,97 @@ func (a *AdaptiveMaxPr) Run(truth []float64, budget float64) (Trace, error) {
 	}
 	tr.Achieved = baseline - a.f.Eval(work.Currents())
 	tr.Countered = tr.Achieved > a.tau
+	return tr, nil
+}
+
+// AdaptiveMinVar is the uncertainty-goal counterpart of AdaptiveMaxPr:
+// it repeatedly cleans the affordable object with the best one-step
+// variance drop per cost (for an affine f over independent values the
+// drop of cleaning o is a_o²·Var[X_o], the modular benefit of §3.2),
+// observes the revealed value, and re-decides. Revealing a value zeroes
+// its variance but — under independence — leaves every other candidate's
+// benefit unchanged, so adaptivity shows up in the budget bookkeeping
+// rather than in reordering; the type exists so the served sessions and
+// the simulators run one decide-step for both goals.
+type AdaptiveMinVar struct {
+	db *model.DB
+	f  *query.Affine
+}
+
+// NewAdaptiveMinVar builds the policy for an affine query function over
+// an independent database.
+func NewAdaptiveMinVar(db *model.DB, f *query.Affine) (*AdaptiveMinVar, error) {
+	if db == nil {
+		return nil, errNilDB
+	}
+	if db.Cov != nil {
+		return nil, errors.New("core: AdaptiveMinVar requires independent values")
+	}
+	return &AdaptiveMinVar{db: db, f: f}, nil
+}
+
+// Name identifies the policy.
+func (a *AdaptiveMinVar) Name() string { return "AdaptiveMinVar" }
+
+// MinVarTrace records one adaptive minvar run.
+type MinVarTrace struct {
+	// Cleaned lists the objects in the order they were cleaned.
+	Cleaned []int
+	// CostSpent is the total cost consumed.
+	CostSpent float64
+	// VarBefore and VarAfter are the variance of f(X) before any
+	// observation and after conditioning on all of them.
+	VarBefore, VarAfter float64
+	// Estimate is the posterior mean of f(X) given the observations.
+	Estimate float64
+}
+
+// Run executes the policy against the hidden truth vector under the
+// given budget, stopping when no affordable object still carries
+// positive benefit. The caller's database is not mutated.
+func (a *AdaptiveMinVar) Run(truth []float64, budget float64) (MinVarTrace, error) {
+	if err := validateBudget(budget); err != nil {
+		return MinVarTrace{}, err
+	}
+	if len(truth) != a.db.N() {
+		return MinVarTrace{}, errors.New("core: truth length mismatch")
+	}
+	n := a.db.N()
+	coef := a.f.Dense(n)
+	costs := a.db.Costs()
+	benefits := make([]float64, n)
+	for o := 0; o < n; o++ {
+		benefits[o] = coef[o] * coef[o] * a.db.Objects[o].Value.Variance()
+	}
+	var tr MinVarTrace
+	for o := 0; o < n; o++ {
+		tr.VarBefore += benefits[o]
+	}
+	means := a.db.Means()
+	remaining := budget
+	cleaned := make([]bool, n)
+	for {
+		best, _, _ := NextAdaptiveStep(costs, cleaned, remaining, func(o int) float64 {
+			return benefits[o]
+		})
+		if best < 0 {
+			break
+		}
+		cleaned[best] = true
+		remaining -= costs[best]
+		tr.CostSpent += costs[best]
+		tr.Cleaned = append(tr.Cleaned, best)
+		// Condition on the observation: the revealed value is a point
+		// mass, so its mean is the truth and its variance is gone.
+		means[best] = truth[best]
+		benefits[best] = 0
+	}
+	for o := 0; o < n; o++ {
+		if !cleaned[o] {
+			tr.VarAfter += benefits[o]
+		}
+	}
+	tr.Estimate = a.f.Eval(means)
 	return tr, nil
 }
 

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/factcheck/cleansel/internal/numeric"
+	"github.com/factcheck/cleansel/internal/query"
+)
+
+// --- NextAdaptiveStep: the decide-step shared by simulators and sessions ---
+
+func TestNextAdaptiveStepPicksBestRatio(t *testing.T) {
+	costs := []float64{2, 1, 4}
+	benefits := []float64{3, 2, 10} // ratios 1.5, 2, 2.5
+	best, b, r := NextAdaptiveStep(costs, make([]bool, 3), 10, func(o int) float64 { return benefits[o] })
+	if best != 2 || b != 10 || r != 2.5 {
+		t.Fatalf("got (%d, %v, %v), want (2, 10, 2.5)", best, b, r)
+	}
+}
+
+func TestNextAdaptiveStepSkipsCleanedAndUnaffordable(t *testing.T) {
+	costs := []float64{1, 1, 5}
+	benefits := []float64{100, 1, 100}
+	cleaned := []bool{true, false, false}
+	// Object 0 is cleaned, object 2 does not fit the remaining budget 2.
+	best, _, _ := NextAdaptiveStep(costs, cleaned, 2, func(o int) float64 { return benefits[o] })
+	if best != 1 {
+		t.Fatalf("got %d, want 1", best)
+	}
+}
+
+func TestNextAdaptiveStepSkipsNonPositiveBenefit(t *testing.T) {
+	costs := []float64{1, 1, 1}
+	benefits := []float64{0, -2, 0}
+	best, _, _ := NextAdaptiveStep(costs, make([]bool, 3), 10, func(o int) float64 { return benefits[o] })
+	if best != -1 {
+		t.Fatalf("got %d, want -1 (no positive-benefit step)", best)
+	}
+}
+
+func TestNextAdaptiveStepLowestIDWinsTies(t *testing.T) {
+	// Equal ratios everywhere: the strictly-greater comparison keeps the
+	// first candidate, so the selection is deterministic.
+	costs := []float64{1, 1, 1}
+	best, _, _ := NextAdaptiveStep(costs, make([]bool, 3), 10, func(o int) float64 { return 1 })
+	if best != 0 {
+		t.Fatalf("tie broke to %d, want 0", best)
+	}
+}
+
+func TestNextAdaptiveStepBudgetTolerance(t *testing.T) {
+	// FitsBudget's round-off tolerance must apply: a cost equal to the
+	// remaining budget up to 1e-9 relative error is affordable.
+	costs := []float64{3.0000000000000004}
+	best, _, _ := NextAdaptiveStep(costs, make([]bool, 1), 3, func(o int) float64 { return 1 })
+	if best != 0 {
+		t.Fatal("tolerance-close cost rejected")
+	}
+	if !FitsBudget(0, 3.0000000000000004, 3) {
+		t.Fatal("FitsBudget disagrees with the selectors' tolerance")
+	}
+	if FitsBudget(0, 4, 3) {
+		t.Fatal("clearly unaffordable cost accepted")
+	}
+}
+
+func TestValidateBudgetExported(t *testing.T) {
+	if err := ValidateBudget(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateBudget(-1); err == nil {
+		t.Fatal("negative budget accepted")
+	}
+}
+
+// --- AdaptiveMinVar ---------------------------------------------------------
+
+func TestAdaptiveMinVarCleansByVariancePerCost(t *testing.T) {
+	db := adaptiveTestDB(t) // unit costs, sigmas 3, 2, 1
+	f := query.NewAffine(0, map[int]float64{0: 1, 1: 1, 2: 1})
+	ad, err := NewAdaptiveMinVar(db, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := []float64{12, 9, 10}
+	tr, err := ad.Run(truth, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Highest variance first: objects 0 then 1, budget 2 stops there.
+	if len(tr.Cleaned) != 2 || tr.Cleaned[0] != 0 || tr.Cleaned[1] != 1 {
+		t.Fatalf("cleaned %v, want [0 1]", tr.Cleaned)
+	}
+	if !numeric.AlmostEqual(tr.CostSpent, 2, 1e-12) {
+		t.Fatalf("cost %v, want 2", tr.CostSpent)
+	}
+	if !numeric.AlmostEqual(tr.VarBefore, 9+4+1, 1e-12) {
+		t.Fatalf("VarBefore %v, want 14", tr.VarBefore)
+	}
+	if !numeric.AlmostEqual(tr.VarAfter, 1, 1e-12) {
+		t.Fatalf("VarAfter %v, want 1 (only sigma=1 object left)", tr.VarAfter)
+	}
+	// Posterior mean: revealed truths for 0 and 1, prior mean for 2.
+	if !numeric.AlmostEqual(tr.Estimate, 12+9+10, 1e-12) {
+		t.Fatalf("estimate %v, want 31", tr.Estimate)
+	}
+}
+
+func TestAdaptiveMinVarExhaustsUsefulObjects(t *testing.T) {
+	db := adaptiveTestDB(t)
+	// Only object 1 carries claim weight; the others have zero benefit.
+	f := query.NewAffine(0, map[int]float64{1: 2})
+	ad, err := NewAdaptiveMinVar(db, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ad.Run([]float64{10, 10, 10}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Cleaned) != 1 || tr.Cleaned[0] != 1 {
+		t.Fatalf("cleaned %v, want just object 1", tr.Cleaned)
+	}
+	if tr.VarAfter != 0 {
+		t.Fatalf("residual claim variance %v, want 0", tr.VarAfter)
+	}
+}
+
+func TestAdaptiveMinVarValidation(t *testing.T) {
+	db := adaptiveTestDB(t)
+	f := query.NewAffine(0, map[int]float64{0: 1})
+	if _, err := NewAdaptiveMinVar(nil, f); err == nil {
+		t.Fatal("nil DB accepted")
+	}
+	ad, err := NewAdaptiveMinVar(db, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ad.Run([]float64{1}, 1); err == nil {
+		t.Fatal("truth length mismatch accepted")
+	}
+	if _, err := ad.Run([]float64{10, 10, 10}, -1); err == nil {
+		t.Fatal("negative budget accepted")
+	}
+	if ad.Name() != "AdaptiveMinVar" {
+		t.Fatalf("name %q", ad.Name())
+	}
+}

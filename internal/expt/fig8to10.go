@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"github.com/factcheck/cleansel/internal/claims"
@@ -127,12 +128,53 @@ func SyntheticUniquenessFromDB(db *model.DB, gamma float64) Workload {
 	return Workload{DB: db, Set: set}
 }
 
-// runFig10 measures GreedyMinVar's running time: (a) n=10,000 with
-// increasing budget; (b) budget 5,000 with increasing n. Paper scale runs
-// the full grid up to n=10⁶.
+// timingReps is how many times each fig10 measurement is repeated;
+// the figure reports the median (robust to one-off scheduler noise)
+// and the max−min spread (so a cross-machine comparison can tell a
+// real difference from jitter).
+func timingReps(scale Scale) int {
+	if scale == Small {
+		return 3
+	}
+	return 5
+}
+
+// timeMedian repeats a solve and reports the median and max−min spread
+// of its wall-clock seconds. setup rebuilds the selector before each
+// rep (a solved GreedyMinVar holds per-run state) outside the timed
+// region, so only the solve itself is measured.
 //
 //lint:allow walltime — figure 10 reproduces the paper's running-time plots: its y-axis IS wall-clock seconds, measured around the solver calls
+func timeMedian(ctx context.Context, reps int, setup func() (func(context.Context) error, error)) (median, spread float64, err error) {
+	secs := make([]float64, 0, reps)
+	for i := 0; i < reps; i++ {
+		solve, err := setup()
+		if err != nil {
+			return 0, 0, err
+		}
+		start := time.Now()
+		if err := solve(ctx); err != nil {
+			return 0, 0, err
+		}
+		secs = append(secs, time.Since(start).Seconds())
+	}
+	sort.Float64s(secs)
+	return secs[len(secs)/2], secs[len(secs)-1] - secs[0], nil
+}
+
+// timingNote documents the repetition scheme on a fig10 figure.
+func timingNote(reps int) string {
+	return fmt.Sprintf("each point is the median of %d repetitions; the spread series is max-min over those repetitions", reps)
+}
+
+// runFig10 measures GreedyMinVar's running time: (a) n=10,000 with
+// increasing budget; (b) budget 5,000 with increasing n. Paper scale runs
+// the full grid up to n=10⁶. Every point is the median over a few
+// repetitions, with the max−min spread reported as its own series, so
+// numbers quoted across machines carry their own error bars.
 func runFig10(ctx context.Context, scale Scale, seed uint64) ([]*Figure, error) {
+	reps := timingReps(scale)
+
 	// (a) fixed n, varying budget.
 	nA := 10000
 	budgets := []float64{0.01, 0.05, 0.10, 0.20, 0.30}
@@ -145,22 +187,30 @@ func runFig10(ctx context.Context, scale Scale, seed uint64) ([]*Figure, error) 
 		Title:  fmt.Sprintf("GreedyMinVar running time (URx, n=%d, uniqueness Γ=100)", nA),
 		XLabel: "budget (fraction)",
 		YLabel: "seconds",
+		Notes:  []string{timingNote(reps)},
 	}
 	dbA := datasets.URx(nA, seed)
 	gA := coveringUniquenessQuery(dbA, nA)
 	sa := Series{Name: "GreedyMinVar"}
+	saSpread := Series{Name: "spread (max-min)"}
 	for _, frac := range budgets {
-		gmv, err := core.NewGreedyMinVarGroup(dbA, gA)
+		med, spread, err := timeMedian(ctx, reps, func() (func(context.Context) error, error) {
+			gmv, err := core.NewGreedyMinVarGroup(dbA, gA)
+			if err != nil {
+				return nil, err
+			}
+			return func(ctx context.Context) error {
+				_, err := gmv.SelectContext(ctx, dbA.Budget(frac))
+				return err
+			}, nil
+		})
 		if err != nil {
 			return nil, err
 		}
-		start := time.Now()
-		if _, err := gmv.SelectContext(ctx, dbA.Budget(frac)); err != nil {
-			return nil, err
-		}
-		sa.Points = append(sa.Points, Point{X: frac, Y: time.Since(start).Seconds()})
+		sa.Points = append(sa.Points, Point{X: frac, Y: med})
+		saSpread.Points = append(saSpread.Points, Point{X: frac, Y: spread})
 	}
-	figA.Series = append(figA.Series, sa)
+	figA.Series = append(figA.Series, sa, saSpread)
 
 	// (b) fixed budget, varying n.
 	sizes := []int{5000, 10000, 100000, 500000, 1000000}
@@ -172,21 +222,29 @@ func runFig10(ctx context.Context, scale Scale, seed uint64) ([]*Figure, error) 
 		Title:  "GreedyMinVar running time vs dataset size (budget 5000)",
 		XLabel: "n (number of uncertain values)",
 		YLabel: "seconds",
+		Notes:  []string{timingNote(reps)},
 	}
 	sb := Series{Name: "GreedyMinVar"}
+	sbSpread := Series{Name: "spread (max-min)"}
 	for _, n := range sizes {
 		db := datasets.URx(n, seed)
 		g := coveringUniquenessQuery(db, n)
-		gmv, err := core.NewGreedyMinVarGroup(db, g)
+		med, spread, err := timeMedian(ctx, reps, func() (func(context.Context) error, error) {
+			gmv, err := core.NewGreedyMinVarGroup(db, g)
+			if err != nil {
+				return nil, err
+			}
+			return func(ctx context.Context) error {
+				_, err := gmv.SelectContext(ctx, 5000)
+				return err
+			}, nil
+		})
 		if err != nil {
 			return nil, err
 		}
-		start := time.Now()
-		if _, err := gmv.SelectContext(ctx, 5000); err != nil {
-			return nil, err
-		}
-		sb.Points = append(sb.Points, Point{X: float64(n), Y: time.Since(start).Seconds()})
+		sb.Points = append(sb.Points, Point{X: float64(n), Y: med})
+		sbSpread.Points = append(sbSpread.Points, Point{X: float64(n), Y: spread})
 	}
-	figB.Series = append(figB.Series, sb)
+	figB.Series = append(figB.Series, sb, sbSpread)
 	return []*Figure{figA, figB}, nil
 }

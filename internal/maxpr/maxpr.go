@@ -85,6 +85,39 @@ func (e *NormalAffine) Prob(T model.Set) float64 {
 	return tailProb(mean, varD, e.tau)
 }
 
+// SingleProb returns the one-step MaxPr objective of cleaning exactly
+// one object: Pr[a·(X − u) < −τ] for the object's marginal law X,
+// coefficient a, and current value u. For a normal law it is the
+// NormalAffine closed form bit for bit (same expression, same
+// association order), so an incremental caller — the served session
+// stepper conditions by point-mass substitution instead of rebuilding an
+// evaluator — recommends exactly what a fresh NormalAffine would. For a
+// discrete law the tail is summed exactly over the support in index
+// order (the strict inequality of Eq. (2), like Discrete.PrBelow).
+func SingleProb(v model.Value, a, u, tau float64) (float64, error) {
+	if tau < 0 {
+		return 0, fmt.Errorf("maxpr: negative tau %v", tau)
+	}
+	if a == 0 {
+		// The drop is identically zero and τ ≥ 0: no surprise possible.
+		return 0, nil
+	}
+	switch law := v.(type) {
+	case dist.Normal:
+		return tailProb(a*(law.Mu-u), a*a*law.Sigma*law.Sigma, tau), nil
+	case *dist.Discrete:
+		var acc numeric.KahanAcc
+		for j, x := range law.Values {
+			if a*(x-u) < -tau {
+				acc.Add(law.Probs[j])
+			}
+		}
+		return acc.Value(), nil
+	default:
+		return 0, fmt.Errorf("maxpr: unsupported value model %T", v)
+	}
+}
+
 // tailProb returns Pr[N(mean, varD) < −τ].
 func tailProb(mean, varD, tau float64) float64 {
 	if varD <= 0 {

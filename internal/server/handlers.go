@@ -240,6 +240,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"datasets":       s.store.Len(),
 		"dataset_bytes":  s.store.Bytes(),
 		"coalesced":      s.flights.Coalesced(),
+		"sessions":       s.sessionStats(),
 		"cache": map[string]any{
 			"entries": s.results.Len(),
 			"bytes":   s.results.Bytes(),

@@ -67,6 +67,25 @@ func newServerMetrics(s *Server) *serverMetrics {
 		"In-memory dataset store lookups.", "status")
 	m.datasetHit = datasetOps.With("hit")
 	m.datasetMiss = datasetOps.With("miss")
+	sessionEvents := reg.CounterVec("cleanseld_sessions_total",
+		"Interactive-session lifecycle events.", "event")
+	sesCreated := sessionEvents.With("created")
+	sesExpired := sessionEvents.With("expired")
+	sesEvicted := sessionEvents.With("evicted")
+	sesRestored := sessionEvents.With("restored")
+	sesLoadErr := sessionEvents.With("load_error")
+	sesPersistErr := sessionEvents.With("persist_error")
+	// Seed the registered counters with what the manager already
+	// counted (restore runs before metrics exist), then swap them in so
+	// /metrics and /healthz read the very objects the manager ticks.
+	st := s.sessions.Stats()
+	sesCreated.Add(float64(st.Created))
+	sesExpired.Add(float64(st.Expired))
+	sesEvicted.Add(float64(st.Evicted))
+	sesRestored.Add(float64(st.Restored))
+	sesLoadErr.Add(float64(st.LoadErrors))
+	sesPersistErr.Add(float64(st.PersistErrors))
+	s.sessions.Instrument(sesCreated, sesExpired, sesEvicted, sesRestored, sesLoadErr, sesPersistErr)
 
 	reg.GaugeFunc("cleanseld_requests_in_flight",
 		"Requests currently being handled.", func() float64 { return float64(m.inflight.Load()) })
@@ -78,6 +97,8 @@ func newServerMetrics(s *Server) *serverMetrics {
 		"Datasets resident in memory.", func() float64 { return float64(s.store.Len()) })
 	reg.GaugeFunc("cleanseld_dataset_bytes",
 		"Approximate bytes of datasets resident in memory.", func() float64 { return float64(s.store.Bytes()) })
+	reg.GaugeFunc("cleanseld_sessions_active",
+		"Interactive sessions currently live.", func() float64 { return float64(s.sessions.Active()) })
 	reg.GaugeFunc("cleanseld_pool_inflight",
 		"Solver goroutines currently running (pool occupancy).", func() float64 { return float64(len(s.sem)) })
 	reg.GaugeFunc("cleanseld_pool_capacity",
@@ -142,6 +163,8 @@ func endpointOf(path string) string {
 		return "assess"
 	case path == "/v1/datasets" || strings.HasPrefix(path, "/v1/datasets/"):
 		return "datasets"
+	case path == "/v1/sessions" || strings.HasPrefix(path, "/v1/sessions/"):
+		return "sessions"
 	case path == "/healthz":
 		return "healthz"
 	case path == "/metrics":

@@ -9,7 +9,11 @@
 //	POST /v1/select        solve a selection task (inline objects or dataset_id)
 //	POST /v1/rank          standalone benefit ranking of every object
 //	POST /v1/assess        claim-quality report (bias/duplicity/fragility)
-//	GET  /healthz          liveness, uptime, and cache/store statistics
+//	POST /v1/sessions      open an interactive cleaning session (adaptive loop)
+//	GET  /v1/sessions/{id} current session state and recommendation
+//	POST /v1/sessions/{id}/clean  report one cleaned value, advance the session
+//	DELETE /v1/sessions/{id}      end a session early
+//	GET  /healthz          liveness, uptime, and cache/store/session statistics
 //
 // Successful select/rank/assess responses are cached in an LRU keyed on
 // a canonical request hash, so repeated identical requests (the common
@@ -47,6 +51,7 @@ import (
 
 	"github.com/factcheck/cleansel/internal/obs"
 	"github.com/factcheck/cleansel/internal/server/persist"
+	"github.com/factcheck/cleansel/internal/session"
 )
 
 // Config tunes a Server. The zero value gets sensible defaults.
@@ -88,11 +93,23 @@ type Config struct {
 	// CacheSnapshotEvery is the period between cache snapshots when
 	// CacheSnapshot is set (default 1m).
 	CacheSnapshotEvery time.Duration
+	// SessionTTL is how long an idle interactive session survives
+	// before expiring (default 30m; negative disables expiry).
+	SessionTTL time.Duration
+	// SessionCap bounds concurrently live sessions; the least recently
+	// used is evicted at the cap (default 256).
+	SessionCap int
+	// SessionSnapshot, when non-empty, is the file live sessions are
+	// snapshotted to on every mutation and restored from on startup, so
+	// interactive episodes survive a daemon restart. Empty keeps
+	// sessions in-memory only.
+	SessionSnapshot string
 	// Clock supplies wall time for uptime, request latency, snapshot
-	// ages, and per-request trace recorders; nil uses the system clock.
-	// The serving layer is where wall time enters the system: the
-	// engines below never read a clock (the cleansel-lint walltime
-	// contract) — they only tick the obs.Recorder this clock feeds.
+	// ages, session TTLs, and per-request trace recorders; nil uses the
+	// system clock. The serving layer is where wall time enters the
+	// system: the engines below never read a clock (the cleansel-lint
+	// walltime contract) — they only tick the obs.Recorder this clock
+	// feeds.
 	Clock obs.Clock
 }
 
@@ -136,6 +153,10 @@ type Server struct {
 	start   time.Time
 	met     *serverMetrics // the /metrics surface; also feeds /healthz
 
+	// sessions holds the interactive cleaning episodes (the served
+	// adaptive loop); see internal/session.
+	sessions *session.Manager
+
 	// Durable-state machinery; zero/nil when the server is in-memory
 	// only (the default).
 	disk           *persist.DatasetDir
@@ -178,6 +199,21 @@ func New(cfg Config) (*Server, error) {
 		s.snapDone = make(chan struct{})
 		go s.snapshotLoop(cfg.CacheSnapshotEvery)
 	}
+	// Sessions come after the store (their restore path resolves
+	// datasets through it) and before metrics (whose gauges read the
+	// manager's counters).
+	sessions, err := session.NewManager(session.Config{
+		Clock:        cfg.Clock,
+		TTL:          cfg.SessionTTL,
+		Capacity:     cfg.SessionCap,
+		SnapshotPath: cfg.SessionSnapshot,
+		Rebuild:      s.rebuildSession,
+		Logger:       cfg.Logger,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.sessions = sessions
 	// Metrics come last so gauges close over fully constructed state;
 	// the flight group takes its coalesced counter from the registry.
 	s.met = newServerMetrics(s)
@@ -245,17 +281,18 @@ func (s *Server) snapshotLoop(every time.Duration) {
 	}
 }
 
-// Close stops the snapshot loop and writes a final snapshot, so a
-// graceful shutdown preserves the whole warm cache. It is idempotent
-// and a no-op for in-memory-only servers.
+// Close stops the snapshot loop and writes final cache and session
+// snapshots, so a graceful shutdown preserves the whole warm cache and
+// every live episode. It is idempotent and cheap for in-memory-only
+// servers.
 func (s *Server) Close() {
 	s.closeOnce.Do(func() {
-		if s.stopSnap == nil {
-			return
+		if s.stopSnap != nil {
+			close(s.stopSnap)
+			<-s.snapDone
+			s.writeSnapshot()
 		}
-		close(s.stopSnap)
-		<-s.snapDone
-		s.writeSnapshot()
+		s.sessions.Close()
 	})
 }
 
@@ -307,6 +344,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/select", s.handleSelect)
 	mux.HandleFunc("POST /v1/rank", s.handleRank)
 	mux.HandleFunc("POST /v1/assess", s.handleAssess)
+	mux.HandleFunc("POST /v1/sessions", s.handleSessionCreate)
+	mux.HandleFunc("GET /v1/sessions/{id}", s.handleSessionGet)
+	mux.HandleFunc("POST /v1/sessions/{id}/clean", s.handleSessionClean)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.Handle("GET /metrics", s.met.registry)
 	return s.accessLog(mux)

@@ -1,0 +1,521 @@
+package session
+
+import (
+	"container/list"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"log/slog"
+	"sync"
+	"time"
+
+	"github.com/factcheck/cleansel/internal/obs"
+	"github.com/factcheck/cleansel/internal/server/persist"
+)
+
+// Lookup errors. The server maps them onto the session protocol's
+// status codes: 404 unknown, 409 conflict, 410 expired.
+var (
+	// ErrNotFound marks a session ID the manager has never seen, or one
+	// whose record was evicted for capacity.
+	ErrNotFound = errors.New("session: not found")
+	// ErrExpired marks a session that outlived its TTL (or whose
+	// snapshot could not be rebuilt after a restart).
+	ErrExpired = errors.New("session: expired")
+	// ErrStep marks a clean report whose step counter does not match the
+	// session's — a duplicate (stale step) or out-of-order (future step)
+	// report.
+	ErrStep = errors.New("session: step mismatch")
+)
+
+// Config tunes a Manager. Clock is required (inject obs.SystemClock at
+// the server boundary, a FakeClock in tests); the rest defaults.
+type Config struct {
+	// Clock drives TTL expiry and the created/last-used stamps.
+	Clock obs.Clock
+	// TTL is the idle lifetime of a session: one untouched for longer is
+	// expired (default 30m; negative disables expiry).
+	TTL time.Duration
+	// Capacity bounds live sessions; creating beyond it evicts the least
+	// recently used (default 256).
+	Capacity int
+	// SnapshotPath, when non-empty, makes sessions durable: every
+	// mutation rewrites a checksummed snapshot (internal/server/persist
+	// format), and a new Manager restores from it. Empty disables.
+	SnapshotPath string
+	// Rebuild reconstructs a Stepper from a session's stored spec (the
+	// canonical create-request bytes) during restore; required when
+	// SnapshotPath is set. The reveal log is replayed on the rebuilt
+	// stepper, so the restored state is bit-identical to the lost one.
+	Rebuild func(spec []byte) (*Stepper, error)
+	// Logger receives restore/persist diagnostics; nil discards.
+	Logger *slog.Logger
+	// MintID overrides session ID generation (tests); nil uses 16 hex
+	// characters from crypto/rand with an "s_" prefix.
+	MintID func() string
+}
+
+// DefaultTTL is the idle lifetime applied when Config.TTL is zero.
+const DefaultTTL = 30 * time.Minute
+
+// DefaultCapacity is the live-session bound applied when
+// Config.Capacity is zero or negative.
+const DefaultCapacity = 256
+
+// record is one live session. All access happens under Manager.mu —
+// session steps are a few microseconds of arithmetic, so one lock keeps
+// the lifecycle (touch, evict, expire, snapshot) trivially consistent.
+type record struct {
+	id       string
+	spec     []byte
+	st       *Stepper
+	log      []Reveal
+	created  time.Time
+	lastUsed time.Time
+	elem     *list.Element
+}
+
+// Manager owns the session records of one server: creation, lookup
+// with TTL expiry, capacity-bounded LRU eviction, and durable
+// snapshots. All methods are safe for concurrent use.
+type Manager struct {
+	clock   obs.Clock
+	ttl     time.Duration
+	cap     int
+	snap    string
+	rebuild func(spec []byte) (*Stepper, error)
+	log     *slog.Logger
+	mintID  func() string
+
+	mu    sync.Mutex
+	byID  map[string]*record
+	order *list.List // front = most recently used
+
+	// tombs remembers recently expired session IDs (bounded ring) so a
+	// late request gets 410 Gone instead of 404.
+	tombs     map[string]struct{}
+	tombOrder []string
+
+	// Lifecycle counters; swapped for registry-backed ones by the
+	// server's metrics layer (the store.reloads pattern), read by both
+	// /metrics and /healthz.
+	created, expired, evicted, restored *obs.Counter
+	loadErrors, persistErrors           *obs.Counter
+}
+
+// maxTombstones bounds the expired-ID memory.
+const maxTombstones = 4096
+
+// NewManager builds a manager and, when snapshots are configured,
+// restores the surviving sessions. Restore failures (missing dataset,
+// corrupt snapshot) are logged and counted, never fatal: a restarted
+// daemon must serve even if some episodes are lost.
+func NewManager(cfg Config) (*Manager, error) {
+	if cfg.Clock == nil {
+		return nil, errors.New("session: Config.Clock is required")
+	}
+	if cfg.TTL == 0 {
+		cfg.TTL = DefaultTTL
+	}
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = DefaultCapacity
+	}
+	if cfg.SnapshotPath != "" && cfg.Rebuild == nil {
+		return nil, errors.New("session: Config.Rebuild is required with SnapshotPath")
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.DiscardHandler)
+	}
+	if cfg.MintID == nil {
+		cfg.MintID = mintID
+	}
+	m := &Manager{
+		clock:   cfg.Clock,
+		ttl:     cfg.TTL,
+		cap:     cfg.Capacity,
+		snap:    cfg.SnapshotPath,
+		rebuild: cfg.Rebuild,
+		log:     cfg.Logger,
+		mintID:  cfg.MintID,
+		byID:    make(map[string]*record),
+		order:   list.New(),
+		tombs:   make(map[string]struct{}),
+
+		created: &obs.Counter{}, expired: &obs.Counter{}, evicted: &obs.Counter{},
+		restored: &obs.Counter{}, loadErrors: &obs.Counter{}, persistErrors: &obs.Counter{},
+	}
+	if m.snap != "" {
+		m.restore()
+	}
+	return m, nil
+}
+
+// mintID returns a fresh "s_" + 16-hex session identifier.
+func mintID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// A broken crypto/rand is a broken platform; collide loudly
+		// rather than crash the daemon.
+		return "s_0000000000000000"
+	}
+	return "s_" + hex.EncodeToString(b[:])
+}
+
+// State is an immutable snapshot of one session, everything the wire
+// layer needs to answer a request.
+type State struct {
+	ID          string
+	Goal        Goal
+	Status      Status
+	Steps       int
+	Tau         float64
+	Budget      float64
+	Remaining   float64
+	Spent       float64
+	Baseline    float64
+	Current     float64
+	Achieved    float64
+	Estimate    float64
+	Uncertainty float64
+	Cleaned     []CleanedValue
+	// Rec is nil when the session is terminal.
+	Rec *Recommendation
+}
+
+// CleanedValue is one entry of the cleaned-object log, labeled for the
+// wire.
+type CleanedValue struct {
+	Object int     `json:"object"`
+	Name   string  `json:"name"`
+	Value  float64 `json:"value"`
+}
+
+// stateOf snapshots r. Callers hold m.mu.
+func (m *Manager) stateOf(r *record, rec *obs.Recorder) State {
+	st := State{
+		ID:          r.id,
+		Goal:        r.st.Goal(),
+		Status:      r.st.Status(rec),
+		Steps:       r.st.Steps(),
+		Tau:         r.st.Tau(),
+		Budget:      r.st.Budget(),
+		Remaining:   r.st.Remaining(),
+		Spent:       r.st.Spent(),
+		Baseline:    r.st.Baseline(),
+		Current:     r.st.Current(),
+		Achieved:    r.st.Achieved(),
+		Estimate:    r.st.Estimate(),
+		Uncertainty: r.st.Uncertainty(),
+		Cleaned:     make([]CleanedValue, len(r.log)),
+	}
+	for i, rv := range r.log {
+		st.Cleaned[i] = CleanedValue{Object: rv.Object, Name: r.st.Name(rv.Object), Value: rv.Value}
+	}
+	if rr, ok := r.st.Recommend(rec); ok {
+		cp := rr
+		st.Rec = &cp
+	}
+	return st
+}
+
+// Create registers a new session around st, whose spec is the canonical
+// create-request encoding (what Rebuild consumes after a restart), and
+// returns its initial state. Creating beyond capacity evicts the least
+// recently used session.
+func (m *Manager) Create(spec []byte, st *Stepper, rec *obs.Recorder) (State, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sweep()
+	for m.order.Len() >= m.cap {
+		oldest := m.order.Back()
+		if oldest == nil {
+			break
+		}
+		m.drop(oldest.Value.(*record))
+		m.evicted.Inc()
+	}
+	now := m.clock.Now()
+	r := &record{
+		id:      m.mintID(),
+		spec:    append([]byte(nil), spec...),
+		st:      st,
+		created: now, lastUsed: now,
+	}
+	r.elem = m.order.PushFront(r)
+	m.byID[r.id] = r
+	m.created.Inc()
+	m.persistLocked()
+	return m.stateOf(r, rec), nil
+}
+
+// Get returns the session's current state, refreshing its TTL.
+func (m *Manager) Get(id string, rec *obs.Recorder) (State, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r, err := m.lookup(id)
+	if err != nil {
+		return State{}, err
+	}
+	m.touch(r)
+	return m.stateOf(r, rec), nil
+}
+
+// Clean applies one clean report: the client cleaned object and found
+// value, in response to the recommendation of step. A step that does
+// not match the session's counter is rejected with ErrStep (duplicate
+// or out-of-order delivery must not corrupt the episode); a reveal the
+// stepper refuses surfaces its error (ErrRevealConflict or a plain
+// validation error). On success the returned state carries the next
+// recommendation.
+func (m *Manager) Clean(id string, step, object int, value float64, rec *obs.Recorder) (State, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r, err := m.lookup(id)
+	if err != nil {
+		return State{}, err
+	}
+	if step != r.st.Steps() {
+		kind := "out-of-order"
+		if step < r.st.Steps() {
+			kind = "duplicate"
+		}
+		return State{}, fmt.Errorf("%w: %s clean report for step %d (session is at step %d)",
+			ErrStep, kind, step, r.st.Steps())
+	}
+	if err := r.st.Reveal(object, value, rec); err != nil {
+		return State{}, err
+	}
+	r.log = append(r.log, Reveal{Object: object, Value: value})
+	m.touch(r)
+	m.persistLocked()
+	return m.stateOf(r, rec), nil
+}
+
+// Delete removes the session.
+func (m *Manager) Delete(id string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r, err := m.lookup(id)
+	if err != nil {
+		return err
+	}
+	m.drop(r)
+	m.persistLocked()
+	return nil
+}
+
+// lookup resolves id, expiring it first if its TTL lapsed. Callers hold
+// m.mu.
+func (m *Manager) lookup(id string) (*record, error) {
+	m.sweep()
+	if r, ok := m.byID[id]; ok {
+		return r, nil
+	}
+	if _, gone := m.tombs[id]; gone {
+		return nil, fmt.Errorf("%w: session %q idled past its %s TTL", ErrExpired, id, m.ttl)
+	}
+	return nil, fmt.Errorf("%w: session %q (unknown, evicted, or deleted)", ErrNotFound, id)
+}
+
+// sweep expires every session that idled past the TTL, leaving a
+// tombstone so late requests distinguish expired from unknown. Callers
+// hold m.mu.
+func (m *Manager) sweep() {
+	if m.ttl < 0 {
+		return
+	}
+	now := m.clock.Now()
+	changed := false
+	for e := m.order.Back(); e != nil; {
+		r := e.Value.(*record)
+		prev := e.Prev()
+		if now.Sub(r.lastUsed) <= m.ttl {
+			// The LRU order is also a last-used order: everything closer
+			// to the front is fresher.
+			break
+		}
+		m.drop(r)
+		m.entomb(r.id)
+		m.expired.Inc()
+		changed = true
+		e = prev
+	}
+	if changed {
+		m.persistLocked()
+	}
+}
+
+// touch refreshes the session's recency. Callers hold m.mu.
+func (m *Manager) touch(r *record) {
+	r.lastUsed = m.clock.Now()
+	m.order.MoveToFront(r.elem)
+}
+
+// drop removes the record from the index and LRU list. Callers hold
+// m.mu.
+func (m *Manager) drop(r *record) {
+	delete(m.byID, r.id)
+	m.order.Remove(r.elem)
+}
+
+// entomb remembers an expired ID, bounded by maxTombstones.
+func (m *Manager) entomb(id string) {
+	if _, ok := m.tombs[id]; ok {
+		return
+	}
+	m.tombs[id] = struct{}{}
+	m.tombOrder = append(m.tombOrder, id)
+	for len(m.tombOrder) > maxTombstones {
+		delete(m.tombs, m.tombOrder[0])
+		m.tombOrder = m.tombOrder[1:]
+	}
+}
+
+// Stats is the lifecycle view /healthz reports.
+type Stats struct {
+	Active                              int
+	Created, Expired, Evicted, Restored uint64
+	LoadErrors, PersistErrors           uint64
+}
+
+// Stats returns the manager's lifecycle counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Stats{
+		Active:        m.order.Len(),
+		Created:       uint64(m.created.Value()),
+		Expired:       uint64(m.expired.Value()),
+		Evicted:       uint64(m.evicted.Value()),
+		Restored:      uint64(m.restored.Value()),
+		LoadErrors:    uint64(m.loadErrors.Value()),
+		PersistErrors: uint64(m.persistErrors.Value()),
+	}
+}
+
+// Active returns the number of live sessions (a gauge for /metrics).
+func (m *Manager) Active() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.order.Len()
+}
+
+// Instrument points the lifecycle counters at registry-backed ones, so
+// /metrics and /healthz read the very objects the manager ticks.
+func (m *Manager) Instrument(created, expired, evicted, restored, loadErrors, persistErrors *obs.Counter) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.created, m.expired, m.evicted, m.restored = created, expired, evicted, restored
+	m.loadErrors, m.persistErrors = loadErrors, persistErrors
+}
+
+// Close flushes a final snapshot so a graceful shutdown loses nothing.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.persistLocked()
+}
+
+// snapRecord is the durable encoding of one session.
+type snapRecord struct {
+	Spec        json.RawMessage `json:"spec"`
+	Log         []Reveal        `json:"log,omitempty"`
+	CreatedUnix int64           `json:"created_unix"`
+	LastUnix    int64           `json:"last_unix"`
+}
+
+// persistLocked rewrites the snapshot (least recently used first, so
+// restoring in order reproduces the LRU order). Callers hold m.mu. A
+// write failure is logged and counted; the daemon keeps serving from
+// memory.
+func (m *Manager) persistLocked() {
+	if m.snap == "" {
+		return
+	}
+	entries := make([]persist.Entry, 0, m.order.Len())
+	for e := m.order.Back(); e != nil; e = e.Prev() {
+		r := e.Value.(*record)
+		val, err := json.Marshal(snapRecord{
+			Spec:        json.RawMessage(r.spec),
+			Log:         r.log,
+			CreatedUnix: r.created.Unix(),
+			LastUnix:    r.lastUsed.Unix(),
+		})
+		if err != nil {
+			m.log.Error("encoding session snapshot entry", "session", r.id, "err", err)
+			m.persistErrors.Inc()
+			continue
+		}
+		entries = append(entries, persist.Entry{Key: r.id, Value: val})
+	}
+	if err := persist.WriteSnapshot(m.snap, entries); err != nil {
+		m.log.Error("writing session snapshot", "path", m.snap, "err", err)
+		m.persistErrors.Inc()
+	}
+}
+
+// restore refills the manager from the snapshot: rebuild each stepper
+// from its stored spec, replay its reveal log, drop what expired while
+// the daemon was down, and count what could not be brought back (for
+// example a session whose dataset file vanished).
+func (m *Manager) restore() {
+	entries, err := persist.ReadSnapshot(m.snap)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return // first boot
+		}
+		m.loadErrors.Inc()
+		m.log.Warn("session snapshot unusable, starting empty", "path", m.snap, "err", err)
+		return
+	}
+	now := m.clock.Now()
+	for _, e := range entries {
+		var sr snapRecord
+		if err := json.Unmarshal(e.Value, &sr); err != nil {
+			m.loadErrors.Inc()
+			m.log.Warn("skipping undecodable session", "session", e.Key, "err", err)
+			continue
+		}
+		last := time.Unix(sr.LastUnix, 0)
+		if m.ttl >= 0 && now.Sub(last) > m.ttl {
+			m.entomb(e.Key)
+			m.expired.Inc()
+			continue
+		}
+		st, err := m.rebuild([]byte(sr.Spec))
+		if err != nil {
+			m.loadErrors.Inc()
+			m.log.Warn("skipping unrebuildable session", "session", e.Key, "err", err)
+			continue
+		}
+		replayOK := true
+		for _, rv := range sr.Log {
+			if err := st.Reveal(rv.Object, rv.Value, nil); err != nil {
+				m.loadErrors.Inc()
+				m.log.Warn("skipping session with unreplayable log", "session", e.Key, "err", err)
+				replayOK = false
+				break
+			}
+		}
+		if !replayOK {
+			continue
+		}
+		r := &record{
+			id:      e.Key,
+			spec:    append([]byte(nil), sr.Spec...),
+			st:      st,
+			log:     append([]Reveal(nil), sr.Log...),
+			created: time.Unix(sr.CreatedUnix, 0), lastUsed: last,
+		}
+		// Entries arrive least recently used first; pushing each to the
+		// front reproduces the snapshot's recency order.
+		r.elem = m.order.PushFront(r)
+		m.byID[r.id] = r
+		m.restored.Inc()
+	}
+	m.log.Info("restored session snapshot", "path", m.snap,
+		"sessions", m.order.Len(), "entries", len(entries))
+}

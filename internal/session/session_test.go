@@ -1,0 +1,318 @@
+package session_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/factcheck/cleansel/internal/core"
+	"github.com/factcheck/cleansel/internal/dist"
+	"github.com/factcheck/cleansel/internal/maxpr"
+	"github.com/factcheck/cleansel/internal/model"
+	"github.com/factcheck/cleansel/internal/numeric"
+	"github.com/factcheck/cleansel/internal/obs"
+	"github.com/factcheck/cleansel/internal/query"
+	"github.com/factcheck/cleansel/internal/session"
+)
+
+func normalDB(t *testing.T) *model.DB {
+	t.Helper()
+	mk := func(mu, sigma float64) dist.Normal {
+		n, err := dist.NewNormal(mu, sigma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	return model.New([]model.Object{
+		{Name: "a", Cost: 1, Current: 10, Value: mk(10, 3)},
+		{Name: "b", Cost: 1, Current: 10, Value: mk(10, 2)},
+		{Name: "c", Cost: 1, Current: 10, Value: mk(10, 1)},
+	})
+}
+
+func mustStepper(t *testing.T, db *model.DB, f *query.Affine, goal session.Goal, tau, budget float64) *session.Stepper {
+	t.Helper()
+	st, err := session.NewStepper(db, f, goal, tau, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// driveEpisode follows the stepper's own recommendations, revealing the
+// hidden truth for each, until the session leaves Active — exactly what
+// a well-behaved HTTP client does.
+func driveEpisode(t *testing.T, st *session.Stepper, truth []float64) []int {
+	t.Helper()
+	var cleaned []int
+	for st.Status(nil) == session.Active {
+		rec, ok := st.Recommend(nil)
+		if !ok {
+			t.Fatal("active session without a recommendation")
+		}
+		if err := st.Reveal(rec.Object, truth[rec.Object], nil); err != nil {
+			t.Fatal(err)
+		}
+		cleaned = append(cleaned, rec.Object)
+	}
+	return cleaned
+}
+
+// singleEval evaluates one-step MaxPr benefits exactly on a database
+// that mixes normals and revealed point masses (AdaptiveMaxPr only ever
+// asks it about singletons, which is all SingleProb covers). The
+// figure harness's NormalAffine evaluator fails once a reveal lands, so
+// the simulator side of the equivalence tests uses this factory.
+type singleEval struct {
+	db   *model.DB
+	coef []float64
+	tau  float64
+}
+
+func (e singleEval) Prob(T model.Set) float64 {
+	if len(T) != 1 {
+		panic("singleEval: adaptive policies evaluate singletons only")
+	}
+	o := T[0]
+	p, err := maxpr.SingleProb(e.db.Objects[o].Value, e.coef[o], e.db.Objects[o].Current, e.tau)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// The served stepper and the figure simulator are one policy: an episode
+// that follows the recommendations must clean the same objects in the
+// same order, spend the same cost, and reach the same verdict as
+// core.AdaptiveMaxPr.Run on the same truth. (That SingleProb itself
+// matches the NormalAffine/DiscreteAffine evaluators is pinned in the
+// maxpr package's tests.)
+func TestStepperMatchesAdaptiveMaxPr(t *testing.T) {
+	f := query.NewAffine(0, map[int]float64{0: 1, 1: 1, 2: 1})
+	tau := 2.0
+	truths := [][]float64{
+		{4, 10, 10},   // counter on the first cleaning
+		{10, 10, 10},  // no counter anywhere
+		{10, 7.5, 10}, // counter hides in the second-ranked object
+		{11, 12, 9},   // truths above current: measure rises
+	}
+	for _, truth := range truths {
+		sim, err := core.NewAdaptiveMaxPr(normalDB(t), f, tau, func(db *model.DB) (maxpr.Evaluator, error) {
+			return singleEval{db: db, coef: f.Dense(db.N()), tau: tau}, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := sim.Run(truth, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := mustStepper(t, normalDB(t), f, session.MaxPr, tau, 3)
+		cleaned := driveEpisode(t, st, truth)
+		if len(cleaned) != len(tr.Cleaned) {
+			t.Fatalf("truth %v: session cleaned %v, simulator %v", truth, cleaned, tr.Cleaned)
+		}
+		for i := range cleaned {
+			if cleaned[i] != tr.Cleaned[i] {
+				t.Fatalf("truth %v: session cleaned %v, simulator %v", truth, cleaned, tr.Cleaned)
+			}
+		}
+		if st.Spent() != tr.CostSpent {
+			t.Fatalf("truth %v: spent %v vs %v", truth, st.Spent(), tr.CostSpent)
+		}
+		if st.Achieved() != tr.Achieved {
+			t.Fatalf("truth %v: achieved %v vs %v", truth, st.Achieved(), tr.Achieved)
+		}
+		wantStatus := session.Exhausted
+		if tr.Countered {
+			wantStatus = session.Countered
+		}
+		if got := st.Status(nil); got != wantStatus {
+			t.Fatalf("truth %v: status %v, want %v", truth, got, wantStatus)
+		}
+	}
+}
+
+func TestStepperMatchesAdaptiveMinVar(t *testing.T) {
+	f := query.NewAffine(0, map[int]float64{0: 1, 1: 2, 2: 1})
+	truth := []float64{12, 9, 10}
+	sim, err := core.NewAdaptiveMinVar(normalDB(t), f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := sim.Run(truth, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := mustStepper(t, normalDB(t), f, session.MinVar, 0, 2)
+	if !numeric.AlmostEqual(st.Uncertainty(), tr.VarBefore, 1e-12) {
+		t.Fatalf("initial uncertainty %v, want %v", st.Uncertainty(), tr.VarBefore)
+	}
+	cleaned := driveEpisode(t, st, truth)
+	if len(cleaned) != len(tr.Cleaned) {
+		t.Fatalf("session cleaned %v, simulator %v", cleaned, tr.Cleaned)
+	}
+	for i := range cleaned {
+		if cleaned[i] != tr.Cleaned[i] {
+			t.Fatalf("session cleaned %v, simulator %v", cleaned, tr.Cleaned)
+		}
+	}
+	if !numeric.AlmostEqual(st.Uncertainty(), tr.VarAfter, 1e-12) {
+		t.Fatalf("posterior uncertainty %v, want %v", st.Uncertainty(), tr.VarAfter)
+	}
+	if st.Estimate() != tr.Estimate {
+		t.Fatalf("estimate %v, want %v", st.Estimate(), tr.Estimate)
+	}
+}
+
+// Discrete laws go through SingleProb's exact summation path.
+func TestStepperDiscreteMaxPr(t *testing.T) {
+	low, err := dist.NewDiscrete([]float64{2, 10}, []float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := model.New([]model.Object{
+		{Name: "a", Cost: 1, Current: 10, Value: low},
+		{Name: "b", Cost: 1, Current: 10, Value: dist.PointMass(10)},
+	})
+	f := query.NewAffine(0, map[int]float64{0: 1, 1: 1})
+	st := mustStepper(t, db, f, session.MaxPr, 3, 10)
+	rec, ok := st.Recommend(nil)
+	if !ok || rec.Object != 0 {
+		t.Fatalf("recommendation %+v ok=%v, want object 0", rec, ok)
+	}
+	// P(drop > 3) = P(X_a = 2) = 0.5 exactly.
+	if rec.Benefit != 0.5 {
+		t.Fatalf("benefit %v, want 0.5", rec.Benefit)
+	}
+	if err := st.Reveal(0, 2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if st.Status(nil) != session.Countered {
+		t.Fatalf("status %v, want countered", st.Status(nil))
+	}
+}
+
+func TestStepperRevealValidation(t *testing.T) {
+	f := query.NewAffine(0, map[int]float64{0: 1, 1: 1, 2: 1})
+	st := mustStepper(t, normalDB(t), f, session.MinVar, 0, 2)
+	if err := st.Reveal(-1, 0, nil); err == nil {
+		t.Fatal("negative object accepted")
+	}
+	if err := st.Reveal(3, 0, nil); err == nil {
+		t.Fatal("out-of-range object accepted")
+	}
+	if err := st.Reveal(0, math.NaN(), nil); err == nil {
+		t.Fatal("NaN value accepted")
+	}
+	if err := st.Reveal(0, math.Inf(1), nil); err == nil {
+		t.Fatal("infinite value accepted")
+	}
+	if err := st.Reveal(1, 9, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Cleaning the same object twice conflicts.
+	if err := st.Reveal(1, 9, nil); err == nil || !isConflict(err) {
+		t.Fatalf("double clean: got %v, want ErrRevealConflict", err)
+	}
+	// The recommendation is advice, not a contract: any affordable
+	// uncleaned object is accepted.
+	if err := st.Reveal(2, 10, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Budget is spent; a terminal session takes no further reveals.
+	if err := st.Reveal(0, 10, nil); err == nil || !isConflict(err) {
+		t.Fatalf("terminal reveal: got %v, want ErrRevealConflict", err)
+	}
+}
+
+func isConflict(err error) bool { return errors.Is(err, session.ErrRevealConflict) }
+
+func TestStepperBudgetConflict(t *testing.T) {
+	mk := func(mu, sigma float64) dist.Normal {
+		n, err := dist.NewNormal(mu, sigma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	db := model.New([]model.Object{
+		{Name: "cheap", Cost: 1, Current: 10, Value: mk(10, 1)},
+		{Name: "dear", Cost: 5, Current: 10, Value: mk(10, 3)},
+	})
+	f := query.NewAffine(0, map[int]float64{0: 1, 1: 1})
+	st := mustStepper(t, db, f, session.MinVar, 0, 2)
+	// The expensive object never fits the budget.
+	if err := st.Reveal(1, 10, nil); err == nil || !isConflict(err) {
+		t.Fatalf("unaffordable reveal: got %v, want ErrRevealConflict", err)
+	}
+	if err := st.Reveal(0, 10, nil); err != nil {
+		t.Fatal(err)
+	}
+	if st.Status(nil) != session.Exhausted {
+		t.Fatalf("status %v, want exhausted", st.Status(nil))
+	}
+}
+
+func TestStepperTicksTraceCounters(t *testing.T) {
+	f := query.NewAffine(0, map[int]float64{0: 1, 1: 1, 2: 1})
+	st := mustStepper(t, normalDB(t), f, session.MaxPr, 2, 3)
+	rec := obs.NewRecorder(obs.SystemClock)
+	if _, ok := st.Recommend(rec); !ok {
+		t.Fatal("no recommendation")
+	}
+	if err := st.Reveal(0, 4, rec); err != nil {
+		t.Fatal(err)
+	}
+	counters := map[string]int64{}
+	for _, c := range rec.Snapshot().Counters {
+		counters[c.Name] = c.Value
+	}
+	// One eval per candidate on the first recommendation (3 objects);
+	// Reveal re-checks Status on the already-cached recommendation, so no
+	// further evals, and exactly one conditioning op.
+	if counters["session_step_evals"] != 3 {
+		t.Fatalf("session_step_evals = %d, want 3", counters["session_step_evals"])
+	}
+	if counters["session_conditioned"] != 1 {
+		t.Fatalf("session_conditioned = %d, want 1", counters["session_conditioned"])
+	}
+}
+
+func TestNewStepperValidation(t *testing.T) {
+	db := normalDB(t)
+	f := query.NewAffine(0, map[int]float64{0: 1})
+	if _, err := session.NewStepper(nil, f, session.MinVar, 0, 1); err == nil {
+		t.Fatal("nil DB accepted")
+	}
+	if _, err := session.NewStepper(db, nil, session.MinVar, 0, 1); err == nil {
+		t.Fatal("nil claim accepted")
+	}
+	if _, err := session.NewStepper(db, f, "bogus", 0, 1); err == nil {
+		t.Fatal("unknown goal accepted")
+	}
+	if _, err := session.NewStepper(db, f, session.MinVar, 0, -1); err == nil {
+		t.Fatal("negative budget accepted")
+	}
+	if _, err := session.NewStepper(db, f, session.MaxPr, -1, 1); err == nil {
+		t.Fatal("negative tau accepted")
+	}
+	if _, err := session.NewStepper(db, f, session.MaxPr, math.NaN(), 1); err == nil {
+		t.Fatal("NaN tau accepted")
+	}
+}
+
+func TestParseGoal(t *testing.T) {
+	for in, want := range map[string]session.Goal{
+		"": session.MinVar, "minvar": session.MinVar, "maxpr": session.MaxPr,
+	} {
+		g, err := session.ParseGoal(in)
+		if err != nil || g != want {
+			t.Fatalf("ParseGoal(%q) = %v, %v", in, g, err)
+		}
+	}
+	if _, err := session.ParseGoal("surprise"); err == nil {
+		t.Fatal("unknown goal accepted")
+	}
+}

@@ -1,0 +1,147 @@
+#!/usr/bin/env bash
+# Interactive-session smoke test for cleanseld: start the daemon with a
+# session snapshot, drive a full adaptive episode over HTTP (create ->
+# follow the recommendation -> report the cleaned value -> repeat until
+# the budget-constrained loop exhausts), assert the protocol rejects
+# duplicate step reports, SIGTERM-restart the daemon and assert the
+# episode survives bit-identically, then check /metrics, /healthz,
+# DELETE, and TTL expiry. Used by CI and runnable locally:
+# ./scripts/smoke_session.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+pid=""
+cleanup() {
+  [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+go build -o "$workdir/cleanseld" ./cmd/cleanseld
+snapshot="$workdir/sessions.snap"
+
+start_daemon() { # args: extra daemon flags
+  rm -f "$workdir/addr"
+  "$workdir/cleanseld" -addr 127.0.0.1:0 -addr-file "$workdir/addr" "$@" &
+  pid=$!
+  for _ in $(seq 1 50); do
+    [ -s "$workdir/addr" ] && break
+    sleep 0.1
+  done
+  [ -s "$workdir/addr" ] || { echo "FAIL: daemon never wrote its address"; exit 1; }
+  base="http://$(cat "$workdir/addr")"
+}
+
+start_daemon -session-snapshot "$snapshot"
+
+# Create an episode from the quickstart problem (maxpr, tau 1, budget
+# 3). The claim compares mar against jan, so the opening recommendation
+# is deterministic: jan (object 0, the tie-break winner).
+status=$(curl -s -o "$workdir/create" -w '%{http_code}' \
+  -X POST --data @examples/quickstart/session.json "$base/v1/sessions")
+[ "$status" = 200 ] || { echo "FAIL: POST /v1/sessions -> $status"; cat "$workdir/create"; exit 1; }
+jq -e '.status == "active" and .steps == 0 and .recommendation.object == 0
+       and .recommendation.name == "jan" and .budget == 3 and (.cleaned | length) == 0' \
+  "$workdir/create" >/dev/null || { echo "FAIL: bad create state"; cat "$workdir/create"; exit 1; }
+id=$(jq -re '.id' "$workdir/create")
+
+# GET answers with the same episode state.
+curl -s -o "$workdir/get0" "$base/v1/sessions/$id"
+diff "$workdir/create" "$workdir/get0" || { echo "FAIL: GET differs from create state"; exit 1; }
+
+# Step 0: clean jan, find its reported value was right after all. The
+# engine conditions the posterior incrementally and recommends mar next.
+status=$(curl -s -o "$workdir/clean0" -w '%{http_code}' \
+  -X POST --data '{"step": 0, "object": 0, "value": 100}' "$base/v1/sessions/$id/clean")
+[ "$status" = 200 ] || { echo "FAIL: clean step 0 -> $status"; cat "$workdir/clean0"; exit 1; }
+jq -e '.status == "active" and .steps == 1 and .spent == 1
+       and .recommendation.object == 2 and .recommendation.name == "mar"
+       and (.cleaned | length) == 1 and .cleaned[0].name == "jan"' \
+  "$workdir/clean0" >/dev/null || { echo "FAIL: bad state after step 0"; cat "$workdir/clean0"; exit 1; }
+
+# Re-delivering the step-0 report must be rejected, not double-applied.
+status=$(curl -s -o "$workdir/dup" -w '%{http_code}' \
+  -X POST --data '{"step": 0, "object": 0, "value": 100}' "$base/v1/sessions/$id/clean")
+[ "$status" = 409 ] || { echo "FAIL: duplicate clean -> $status, want 409"; cat "$workdir/dup"; exit 1; }
+jq -e '.error.code == "conflict"' "$workdir/dup" >/dev/null \
+  || { echo "FAIL: bad conflict body"; cat "$workdir/dup"; exit 1; }
+
+# Step 1: clean mar, again confirming the current value. feb cannot
+# move the claim (zero coefficient), so the episode terminates with
+# budget left over: every useful object is clean, no counter found.
+status=$(curl -s -o "$workdir/clean1" -w '%{http_code}' \
+  -X POST --data '{"step": 1, "object": 2, "value": 140}' "$base/v1/sessions/$id/clean")
+[ "$status" = 200 ] || { echo "FAIL: clean step 1 -> $status"; cat "$workdir/clean1"; exit 1; }
+jq -e '.status == "exhausted" and .steps == 2 and .spent == 2 and .remaining == 1
+       and (has("recommendation") | not) and (.cleaned | length) == 2' \
+  "$workdir/clean1" >/dev/null || { echo "FAIL: bad terminal state"; cat "$workdir/clean1"; exit 1; }
+
+# A terminal episode accepts no further reports.
+status=$(curl -s -o "$workdir/late" -w '%{http_code}' \
+  -X POST --data '{"step": 2, "object": 1, "value": 120}' "$base/v1/sessions/$id/clean")
+[ "$status" = 409 ] || { echo "FAIL: clean after terminal -> $status, want 409"; cat "$workdir/late"; exit 1; }
+
+# ?trace=1 wraps the state in the same envelope the solve endpoints
+# use; sessions are never cached, so the envelope says so.
+curl -s -o "$workdir/traced" "$base/v1/sessions/$id?trace=1"
+jq -e '.cache == "none" and (.request_id | length) > 0 and .result.id == "'"$id"'"' \
+  "$workdir/traced" >/dev/null || { echo "FAIL: malformed trace envelope"; cat "$workdir/traced"; exit 1; }
+
+# Graceful restart: the snapshot must bring the episode back
+# bit-identically — same step counter, same posterior, same log.
+curl -s -o "$workdir/before" "$base/v1/sessions/$id"
+kill -TERM "$pid"
+wait "$pid" || { echo "FAIL: daemon exited non-zero on SIGTERM"; exit 1; }
+pid=""
+[ -s "$snapshot" ] || { echo "FAIL: no session snapshot written on shutdown"; exit 1; }
+
+start_daemon -session-snapshot "$snapshot"
+status=$(curl -s -o "$workdir/after" -w '%{http_code}' "$base/v1/sessions/$id")
+[ "$status" = 200 ] || { echo "FAIL: session lost across restart -> $status"; cat "$workdir/after"; exit 1; }
+diff "$workdir/before" "$workdir/after" || { echo "FAIL: episode changed across restart"; exit 1; }
+
+# /healthz and /metrics report the lifecycle: one session restored and
+# active, nothing lost.
+curl -s "$base/healthz" > "$workdir/health"
+jq -e '.sessions.restored == 1 and .sessions.active == 1 and .sessions.load_errors == 0' \
+  "$workdir/health" >/dev/null || { echo "FAIL: bad session health stats"; cat "$workdir/health"; exit 1; }
+
+curl -s "$base/metrics" > "$workdir/metrics"
+metric() { # prints the sample value; runs in $(...), so failures go to stderr
+  awk -v want="$1" '$1 == want { print $2; found = 1 } END { if (!found) exit 1 }' "$workdir/metrics" \
+    || { echo "FAIL: metric $1 missing from /metrics" >&2; exit 1; }
+}
+v=$(metric 'cleanseld_sessions_total{event="restored"}')
+[ "$v" = 1 ] || { echo "FAIL: restored count $v != 1"; exit 1; }
+v=$(metric 'cleanseld_sessions_active')
+[ "$v" = 1 ] || { echo "FAIL: active gauge $v != 1"; exit 1; }
+metric 'cleanseld_requests_total{endpoint="sessions",code="200"}' >/dev/null
+
+# DELETE ends the episode; the ID stops resolving.
+status=$(curl -s -o "$workdir/deleted" -w '%{http_code}' -X DELETE "$base/v1/sessions/$id")
+[ "$status" = 200 ] || { echo "FAIL: DELETE -> $status"; cat "$workdir/deleted"; exit 1; }
+status=$(curl -s -o "$workdir/gone" -w '%{http_code}' "$base/v1/sessions/$id")
+[ "$status" = 404 ] || { echo "FAIL: GET after DELETE -> $status, want 404"; exit 1; }
+
+kill "$pid"
+wait "$pid" 2>/dev/null || true
+pid=""
+
+# TTL expiry: with a 1-second TTL, an idle session answers 410 Gone —
+# distinguishable from an ID that never existed (404).
+start_daemon -session-ttl 1s
+curl -s -o "$workdir/short" -X POST --data @examples/quickstart/session.json "$base/v1/sessions"
+sid=$(jq -re '.id' "$workdir/short")
+sleep 1.3
+status=$(curl -s -o "$workdir/expired" -w '%{http_code}' "$base/v1/sessions/$sid")
+[ "$status" = 410 ] || { echo "FAIL: idle session -> $status, want 410"; cat "$workdir/expired"; exit 1; }
+jq -e '.error.code == "expired"' "$workdir/expired" >/dev/null \
+  || { echo "FAIL: bad expiry body"; cat "$workdir/expired"; exit 1; }
+status=$(curl -s -o /dev/null -w '%{http_code}' "$base/v1/sessions/s_0123456789abcdef")
+[ "$status" = 404 ] || { echo "FAIL: unknown session -> $status, want 404"; exit 1; }
+
+kill "$pid"
+wait "$pid" 2>/dev/null || true
+pid=""
+echo "session smoke OK: $base served a full adaptive episode, restart recovery, expiry"
