@@ -651,40 +651,16 @@ func AssessClaim(db *DB, set *PerturbationSet) (QualityReport, error) {
 // AssessClaimContext is AssessClaim under ctx: the duplicity and
 // fragility variance solves (the expensive enumerations) run on the
 // parallel worker pool and stop with the context's error once ctx is
-// done.
+// done. It runs through a one-shot TriageContext, so a standalone
+// assessment and a bulk-triage assessment of the same claim are the
+// same code path — bit-identical by construction.
 func AssessClaimContext(ctx context.Context, db *DB, set *PerturbationSet) (QualityReport, error) {
 	if db == nil || set == nil {
 		return QualityReport{}, errors.New("cleansel: AssessClaim needs db and set")
 	}
-	work := db
-	if _, err := db.Discretes(); err != nil {
-		work = db.Discretized(6)
-	}
-	rep := QualityReport{Perturbations: set.M()}
-	u := db.Currents()
-	bias := set.Bias()
-	rep.Bias = bias.Eval(u)
-	mod, err := ev.NewModular(db, bias)
+	tc, err := NewTriageContext(db)
 	if err != nil {
 		return QualityReport{}, err
 	}
-	rep.BiasVariance = mod.Variance()
-	rep.Duplicity = set.DupValue(u)
-	dupEng, err := ev.NewGroupEngine(work, set.Dup())
-	if err != nil {
-		return QualityReport{}, err
-	}
-	if rep.DupVariance, err = dupEng.EVCtx(ctx, nil); err != nil {
-		return QualityReport{}, err
-	}
-	frag := set.Frag()
-	rep.Fragility = frag.Eval(u)
-	fragEng, err := ev.NewGroupEngine(work, frag)
-	if err != nil {
-		return QualityReport{}, err
-	}
-	if rep.FragVariance, err = fragEng.EVCtx(ctx, nil); err != nil {
-		return QualityReport{}, err
-	}
-	return rep, nil
+	return tc.AssessClaim(ctx, set)
 }

@@ -1,0 +1,191 @@
+// Command linkcheck verifies the repository's markdown cross-references.
+//
+// It scans the given markdown files (default: README.md and docs/*.md)
+// for inline links and images, and fails when a relative link points at
+// a file that does not exist or at a heading anchor that no heading in
+// the target file produces. External links (http, https, mailto) are
+// not fetched — the tool guards the intra-repo documentation graph, not
+// the internet.
+//
+// Anchors are derived from headings with the GitHub rendering rule:
+// lowercase, inline formatting stripped, punctuation removed, spaces
+// replaced by hyphens, and duplicate headings suffixed -1, -2, ….
+// Links inside fenced code blocks and inline code spans are ignored.
+//
+// Usage:
+//
+//	go run ./cmd/linkcheck              # check README.md and docs/*.md
+//	go run ./cmd/linkcheck FILE...      # check the named files
+//
+// Exits 0 when every link resolves, 1 with one line per broken link
+// otherwise. Stdlib-only, like the rest of the repository.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+var (
+	linkRe   = regexp.MustCompile(`!?\[[^\]\n]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+	codeRe   = regexp.MustCompile("`[^`\n]*`")
+	headRe   = regexp.MustCompile(`^(#{1,6})\s+(.*?)\s*(?:#+\s*)?$`)
+	inlineRe = regexp.MustCompile(`\[([^\]\n]*)\]\([^)\n]*\)|[*~` + "`" + `]`)
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: linkcheck [FILE.md ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	files := flag.Args()
+	if len(files) == 0 {
+		var err error
+		files, err = defaultFiles()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "linkcheck:", err)
+			os.Exit(1)
+		}
+	}
+
+	broken := 0
+	anchors := map[string]map[string]bool{} // file path -> anchor set
+	for _, f := range files {
+		for _, l := range checkFile(f, anchors) {
+			fmt.Fprintln(os.Stderr, l)
+			broken++
+		}
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "linkcheck: %d broken link(s) in %d file(s)\n", broken, len(files))
+		os.Exit(1)
+	}
+	fmt.Printf("linkcheck: %d file(s) clean\n", len(files))
+}
+
+func defaultFiles() ([]string, error) {
+	files := []string{"README.md"}
+	docs, err := filepath.Glob(filepath.Join("docs", "*.md"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(docs)
+	return append(files, docs...), nil
+}
+
+// checkFile returns one message per broken link in f. The anchors map
+// caches heading anchors per target file so each file is parsed once.
+func checkFile(f string, anchors map[string]map[string]bool) []string {
+	data, err := os.ReadFile(f)
+	if err != nil {
+		return []string{fmt.Sprintf("%s: %v", f, err)}
+	}
+	var msgs []string
+	dir := filepath.Dir(f)
+	inFence := false
+	for i, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(codeRe.ReplaceAllString(line, ""), -1) {
+			target := m[1]
+			if msg := checkLink(f, dir, target, anchors); msg != "" {
+				msgs = append(msgs, fmt.Sprintf("%s:%d: %s", f, i+1, msg))
+			}
+		}
+	}
+	return msgs
+}
+
+func checkLink(from, dir, target string, anchors map[string]map[string]bool) string {
+	if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+		return ""
+	}
+	path, frag, _ := strings.Cut(target, "#")
+	resolved := from
+	if path != "" {
+		resolved = filepath.Join(dir, path)
+		info, err := os.Stat(resolved)
+		if err != nil {
+			return fmt.Sprintf("broken link %q: no such file", target)
+		}
+		if info.IsDir() || frag == "" {
+			return ""
+		}
+	}
+	if frag == "" {
+		return ""
+	}
+	set, err := headingAnchors(resolved, anchors)
+	if err != nil {
+		return fmt.Sprintf("broken link %q: %v", target, err)
+	}
+	if !set[frag] {
+		return fmt.Sprintf("broken link %q: no heading renders to #%s", target, frag)
+	}
+	return ""
+}
+
+func headingAnchors(path string, cache map[string]map[string]bool) (map[string]bool, error) {
+	if set, ok := cache[path]; ok {
+		return set, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	set := map[string]bool{}
+	seen := map[string]int{}
+	inFence := false
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		m := headRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		a := slugify(m[2])
+		if n := seen[a]; n > 0 {
+			set[fmt.Sprintf("%s-%d", a, n)] = true
+		} else {
+			set[a] = true
+		}
+		seen[a]++
+	}
+	cache[path] = set
+	return set, nil
+}
+
+// slugify applies GitHub's heading-to-anchor rule: strip inline
+// formatting (keeping link text), lowercase, drop everything but
+// letters, digits, hyphens, underscores, and spaces, then turn each
+// space into a hyphen.
+func slugify(heading string) string {
+	heading = inlineRe.ReplaceAllString(heading, "$1")
+	var b strings.Builder
+	for _, r := range strings.ToLower(heading) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-', r == '_':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}

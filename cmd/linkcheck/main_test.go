@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSlugify(t *testing.T) {
+	cases := map[string]string{
+		"Shared request vocabulary":              "shared-request-vocabulary",
+		"Determinism contract & static analysis": "determinism-contract--static-analysis",
+		"`POST /v1/triage`":                      "post-v1triage",
+		"Caching, request IDs, and tracing":      "caching-request-ids-and-tracing",
+		"[link text](somewhere.md) in a heading": "link-text-in-a-heading",
+		"snake_case stays":                       "snake_case-stays",
+		"*emphasis* and ~strike~ stripped":       "emphasis-and-strike-stripped",
+	}
+	for in, want := range cases {
+		if got := slugify(in); got != want {
+			t.Errorf("slugify(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCheckFile(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "target.md"), strings.Join([]string{
+		"# Title",
+		"## Repeated",
+		"## Repeated",
+		"```",
+		"## Not A Heading",
+		"```",
+		"## Error envelope",
+	}, "\n"))
+	write(t, filepath.Join(dir, "doc.md"), strings.Join([]string{
+		"[ok file](target.md)",
+		"[ok anchor](target.md#error-envelope)",
+		"[ok dup](target.md#repeated-1)",
+		"[ok self](#local)",
+		"[external](https://example.com/nope)",
+		"`[in code span](missing.md)`",
+		"```",
+		"[in fence](missing.md)",
+		"```",
+		"## Local",
+		"[bad file](missing.md)",
+		"[bad anchor](target.md#not-a-heading)",
+		"[bad self](#nowhere)",
+	}, "\n"))
+
+	msgs := checkFile(filepath.Join(dir, "doc.md"), map[string]map[string]bool{})
+	if len(msgs) != 3 {
+		t.Fatalf("got %d findings, want 3:\n%s", len(msgs), strings.Join(msgs, "\n"))
+	}
+	for i, want := range []string{"missing.md", "#not-a-heading", "#nowhere"} {
+		if !strings.Contains(msgs[i], want) {
+			t.Errorf("finding %d = %q, want mention of %q", i, msgs[i], want)
+		}
+	}
+}

@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
+	"strings"
 
 	"github.com/factcheck/cleansel/internal/query"
 )
@@ -147,6 +149,28 @@ func NewSet(original *Claim, dir Direction, ref float64, perturbs []Perturbed) (
 		out.Perturbs[i].Sensibility /= tot
 	}
 	return out, nil
+}
+
+// Signature returns a canonical identity of everything a quality
+// assessment depends on: the direction, the reference, and the ordered
+// perturbations (variables, coefficients, constants, normalized
+// sensibilities — all floats as exact IEEE-754 bits). Claim NAMES are
+// deliberately excluded: a renamed copy of a claim assesses to the
+// same QualityReport, which is what lets bulk triage dedup paraphrased
+// viral claims. Perturbation order is part of the signature because
+// the bias and EV accumulations sum in that order, and float addition
+// is not associative.
+func (s *Set) Signature() string {
+	var b strings.Builder
+	b.WriteString(strconv.Itoa(int(s.Dir)))
+	b.WriteByte(':')
+	b.WriteString(strconv.FormatUint(math.Float64bits(s.Ref), 16))
+	for k := range s.Perturbs {
+		vars, cf, c := s.dirCoef(k)
+		b.WriteByte('\x1e')
+		b.WriteString(query.TermSig("p", vars, cf, []float64{c, s.Perturbs[k].Sensibility}))
+	}
+	return b.String()
 }
 
 // Delta evaluates the relative strength Δ(q_k(x), ref) = dir·(q_k(x) − ref)

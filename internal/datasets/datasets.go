@@ -263,25 +263,49 @@ func Synthetic(kind SyntheticKind, n int, seed uint64) *model.DB {
 	objs := make([]model.Object, n)
 	for i := 0; i < n; i++ {
 		k := r.IntRange(1, MaxSupport)
-		var d *dist.Discrete
-		switch kind {
-		case UR:
-			d = urDist(r, k)
-		case LN:
-			d = lnDist(r, k)
-		case SM:
-			d = smDist(r, k)
-		default:
-			panic("datasets: unknown synthetic kind")
-		}
-		objs[i] = model.Object{
-			Name:    fmt.Sprintf("%s/%d", kind, i),
-			Current: d.Sample(r),
-			Cost:    float64(r.IntRange(1, 10)),
-			Value:   d,
-		}
+		objs[i] = syntheticObject(kind, r, i, k)
 	}
 	return model.New(objs)
+}
+
+// SyntheticK is Synthetic with every object's support size pinned to k
+// instead of drawn from [1,MaxSupport]. Per-term enumeration over a
+// w-object window costs k^w values, so k tunes how compute-heavy a
+// workload's solves are independently of its wire size — benchmark
+// workloads use k = MaxSupport to model the dense-support worst case.
+func SyntheticK(kind SyntheticKind, n, k int, seed uint64) *model.DB {
+	if k < 1 || k > 100 {
+		panic("datasets: SyntheticK needs 1 <= k <= 100")
+	}
+	r := rng.New(seed)
+	objs := make([]model.Object, n)
+	for i := 0; i < n; i++ {
+		objs[i] = syntheticObject(kind, r, i, k)
+	}
+	return model.New(objs)
+}
+
+// syntheticObject draws one object with a k-point support; the draw
+// order (distribution, current sample, cost) is part of the fixed RNG
+// sequence both Synthetic variants replay deterministically.
+func syntheticObject(kind SyntheticKind, r *rng.RNG, i, k int) model.Object {
+	var d *dist.Discrete
+	switch kind {
+	case UR:
+		d = urDist(r, k)
+	case LN:
+		d = lnDist(r, k)
+	case SM:
+		d = smDist(r, k)
+	default:
+		panic("datasets: unknown synthetic kind")
+	}
+	return model.Object{
+		Name:    fmt.Sprintf("%s/%d", kind, i),
+		Current: d.Sample(r),
+		Cost:    float64(r.IntRange(1, 10)),
+		Value:   d,
+	}
 }
 
 // URx builds the uniform-random synthetic dataset.

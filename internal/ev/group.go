@@ -49,19 +49,27 @@ type GroupEngine struct {
 	mu        sync.Mutex
 	termCache []map[uint64]float64
 	pairCache []map[uint64]float64
+
+	// shared, when non-nil, is a second cache tier consulted after the
+	// local one, keyed by term signatures so engines compiled from
+	// different claims over the same database reuse each other's
+	// enumerations (see SharedEVCache).
+	shared *SharedEVCache
 }
 
 type termInfo struct {
 	vars []int
 	eval func([]float64) float64
+	sig  string // canonical signature ("" = unshareable)
 }
 
 type pairInfo struct {
 	k, l   int
-	shared []int // R_k ∩ R_l (non-empty)
-	onlyK  []int // R_k \ shared
-	onlyL  []int // R_l \ shared
-	union  []int // R_k ∪ R_l
+	shared []int  // R_k ∩ R_l (non-empty)
+	onlyK  []int  // R_k \ shared
+	onlyL  []int  // R_l \ shared
+	union  []int  // R_k ∪ R_l
+	sig    string // ordered sig(k)+sig(l) ("" = unshareable)
 }
 
 // NewGroupEngine validates the model (independent, discrete) and indexes
@@ -96,7 +104,7 @@ func NewGroupEngine(db *model.DB, g *query.GroupSum) (*GroupEngine, error) {
 		}
 		// Terms must receive values in their declared order; keep the
 		// original order for evaluation but track sorted vars for set math.
-		e.terms = append(e.terms, termInfo{vars: t.Vars, eval: t.Eval})
+		e.terms = append(e.terms, termInfo{vars: t.Vars, eval: t.Eval, sig: t.Sig})
 	}
 	// Index terms per object and find overlapping pairs.
 	for k, t := range e.terms {
@@ -181,6 +189,12 @@ func (e *GroupEngine) buildPair(k, l int) pairInfo {
 	sort.Ints(p.onlyK)
 	sort.Ints(p.onlyL)
 	sort.Ints(p.union)
+	// Ordered, not sorted: pairEV groups its products around the k-side
+	// term, so only a pair with the same (k,l) role assignment is
+	// guaranteed the same float64 (see the SharedEVCache contract).
+	if sk, sl := e.terms[k].sig, e.terms[l].sig; sk != "" && sl != "" {
+		p.sig = sk + "\x1e" + sl
+	}
 	return p
 }
 
@@ -335,14 +349,27 @@ func (e *GroupEngine) termValues(ctx context.Context, cleaned []bool) ([]float64
 	if len(misses) == 0 {
 		return vals, nil
 	}
-	pool := newScratchPool(e.db.N())
-	if err := parallel.For(ctx, len(misses), func(worker, i int) error {
-		sc := pool.get(worker)
-		m := misses[i]
-		vals[m.i] = e.termEV(e.dists, m.i, cleaned, sc.x, sc.buf)
-		return nil
-	}); err != nil {
-		return nil, err
+	// Second tier: values another engine over the same database already
+	// enumerated for a signature-identical term.
+	compute := misses
+	if e.shared != nil {
+		sig := func(i int) string { return e.terms[i].sig }
+		compute = e.shared.splitShared(e.shared.terms, misses, vals, sig)
+		if rec := obs.FromContext(ctx); rec != nil {
+			rec.Add("ev_shared_hits", int64(len(misses)-len(compute)))
+			rec.Add("ev_shared_misses", int64(len(compute)))
+		}
+	}
+	if len(compute) > 0 {
+		pool := newScratchPool(e.db.N())
+		if err := parallel.For(ctx, len(compute), func(worker, i int) error {
+			sc := pool.get(worker)
+			m := compute[i]
+			vals[m.i] = e.termEV(e.dists, m.i, cleaned, sc.x, sc.buf)
+			return nil
+		}); err != nil {
+			return nil, err
+		}
 	}
 	e.mu.Lock()
 	for _, m := range misses {
@@ -355,6 +382,9 @@ func (e *GroupEngine) termValues(ctx context.Context, cleaned []bool) ([]float64
 		e.termCache[m.i][m.mask] = vals[m.i]
 	}
 	e.mu.Unlock()
+	if e.shared != nil && len(compute) > 0 {
+		e.shared.publish(e.shared.terms, compute, vals, func(i int) string { return e.terms[i].sig })
+	}
 	return vals, nil
 }
 
@@ -383,14 +413,25 @@ func (e *GroupEngine) pairValues(ctx context.Context, cleaned []bool) ([]float64
 	if len(misses) == 0 {
 		return vals, nil
 	}
-	pool := newScratchPool(e.db.N())
-	if err := parallel.For(ctx, len(misses), func(worker, i int) error {
-		sc := pool.get(worker)
-		m := misses[i]
-		vals[m.i] = e.pairEV(e.dists, m.i, cleaned, sc.x, sc.buf)
-		return nil
-	}); err != nil {
-		return nil, err
+	compute := misses
+	if e.shared != nil {
+		sig := func(i int) string { return e.pairs[i].sig }
+		compute = e.shared.splitShared(e.shared.pairs, misses, vals, sig)
+		if rec := obs.FromContext(ctx); rec != nil {
+			rec.Add("ev_shared_hits", int64(len(misses)-len(compute)))
+			rec.Add("ev_shared_misses", int64(len(compute)))
+		}
+	}
+	if len(compute) > 0 {
+		pool := newScratchPool(e.db.N())
+		if err := parallel.For(ctx, len(compute), func(worker, i int) error {
+			sc := pool.get(worker)
+			m := compute[i]
+			vals[m.i] = e.pairEV(e.dists, m.i, cleaned, sc.x, sc.buf)
+			return nil
+		}); err != nil {
+			return nil, err
+		}
 	}
 	e.mu.Lock()
 	for _, m := range misses {
@@ -403,6 +444,9 @@ func (e *GroupEngine) pairValues(ctx context.Context, cleaned []bool) ([]float64
 		e.pairCache[m.i][m.mask] = vals[m.i]
 	}
 	e.mu.Unlock()
+	if e.shared != nil && len(compute) > 0 {
+		e.shared.publish(e.shared.pairs, compute, vals, func(i int) string { return e.pairs[i].sig })
+	}
 	return vals, nil
 }
 

@@ -166,6 +166,68 @@ func SyntheticUniqueness(kind datasets.SyntheticKind, n int, gamma float64, seed
 	return Workload{DB: db, Set: set}
 }
 
+// StreamClaim is one arrival in a synthetic claim stream: the arrival
+// name (the "paraphrase" under which the claim circulates) plus the
+// underlying perturbation set.
+type StreamClaim struct {
+	Name string
+	Set  *claims.Set
+}
+
+// ClaimStream models the triage firehose: arrivals claim-arrivals over
+// one shared n-value synthetic dataset. The stream cycles over
+// families distinct base claims — w-value window-sum low-claims
+// anchored at different spans, all asserting one shared Γ — so once
+// the cycle wraps, arrivals are paraphrases (the same claim under a
+// new name), while distinct families still share every duplicity
+// indicator term through the common Γ. That is exactly the structure
+// bulk triage amortizes: signature dedup collapses the paraphrases,
+// and the cross-claim EV cache collapses the Γ-family term
+// enumerations. The window width w sets the per-term enumeration cost
+// (support^w tuples), so it tunes how solve-heavy each claim is
+// relative to fixed per-request overhead. Fully deterministic in
+// (kind, n, w, arrivals, families, seed).
+//
+// The dataset uses dense supports (every object carries MaxSupport
+// values), so each w-window term enumerates MaxSupport^w outcomes —
+// the solve-heavy regime where bulk amortization matters most.
+func ClaimStream(kind datasets.SyntheticKind, n, w, arrivals, families int, seed uint64) (*model.DB, []StreamClaim) {
+	if w <= 0 || n < 2*w || families <= 0 || arrivals < 0 {
+		panic("expt: ClaimStream needs w > 0, n >= 2*w, families > 0, arrivals >= 0")
+	}
+	db := datasets.SyntheticK(kind, n, datasets.MaxSupport, seed)
+	u := db.Currents()
+	// Shared asserted Γ: the mean disjoint-window sum at the current
+	// values, so "as low as Γ" is plausible for some spans and doubtful
+	// for others — duplicity is genuinely uncertain.
+	var tot float64
+	cnt := 0
+	for s := 0; s+w <= n; s += w {
+		for i := s; i < s+w; i++ {
+			tot += u[i]
+		}
+		cnt++
+	}
+	gamma := tot / float64(cnt)
+	base := make([]*claims.Set, families)
+	for b := range base {
+		origStart := b % (n - w + 1)
+		orig := claims.WindowSum(fmt.Sprintf("low-claim-%d", b), origStart, w)
+		perturbs := claims.NonOverlappingWindows("w", n, w, origStart, 0.5)
+		set, err := claims.NewSet(orig, claims.LowerIsStronger, gamma, perturbs)
+		if err != nil {
+			panic(err)
+		}
+		base[b] = set
+	}
+	out := make([]StreamClaim, arrivals)
+	for i := range out {
+		b := i % families
+		out[i] = StreamClaim{Name: fmt.Sprintf("arrival-%04d/fam-%d", i, b), Set: base[b]}
+	}
+	return db, out
+}
+
 // FirearmsRobustness is the §4.2 robustness workload: "the number of
 // firearm injuries over the last two years is as high as Γ′".
 func FirearmsRobustness(seed uint64) Workload {

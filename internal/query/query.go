@@ -10,7 +10,12 @@
 //     exploits for polynomial-time expected-variance computation.
 package query
 
-import "sort"
+import (
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
 
 // Function is a real-valued query over the full value vector.
 type Function interface {
@@ -101,9 +106,47 @@ func (a *Affine) AsGroupSum() *GroupSum {
 // Term is one additive component g_k of a GroupSum, referencing only the
 // objects in Vars (sorted ascending). Eval receives the values of exactly
 // those objects, in the same order.
+//
+// Sig, when non-empty, is a canonical signature of the term: two terms
+// with equal signatures evaluate identically on every input (same Vars
+// in the same order, same functional form, same parameters to the bit).
+// Engines use it to share cached per-term results across separately
+// compiled problems over the same database — the cross-claim
+// amortization of bulk triage. The closure constructors here
+// (LinearTerm, IndicatorGE, NegMinSquared) fill it in; hand-built terms
+// may leave it empty, which only disables sharing, never correctness.
 type Term struct {
 	Vars []int
 	Eval func(vals []float64) float64
+	Sig  string
+}
+
+// TermSig builds the canonical signature of a parametric term: the kind
+// tag, the variable list in declaration order, and every float parameter
+// spelled as exact IEEE-754 bits — so two signatures are equal exactly
+// when the terms are the same function. Float bits (not decimal
+// formatting) keep the mapping injective: distinct NaN payloads aside,
+// distinct parameter values always get distinct signatures.
+func TermSig(kind string, vars []int, params ...[]float64) string {
+	var b strings.Builder
+	b.WriteString(kind)
+	b.WriteByte('|')
+	for i, v := range vars {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(v))
+	}
+	for _, ps := range params {
+		b.WriteByte('|')
+		for i, p := range ps {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.FormatUint(math.Float64bits(p), 16))
+		}
+	}
+	return b.String()
 }
 
 // GroupSum is f(X) = Const + Σ_k Terms[k](X_{R_k}).
@@ -155,6 +198,7 @@ func LinearTerm(vars []int, coef []float64, c float64) Term {
 			}
 			return s
 		},
+		Sig: TermSig("lin", vs, cf, []float64{c}),
 	}
 }
 
@@ -175,6 +219,7 @@ func IndicatorGE(vars []int, coef []float64, c, weight float64) Term {
 			}
 			return 0
 		},
+		Sig: TermSig("ge", vs, cf, []float64{c, weight}),
 	}
 }
 
@@ -195,6 +240,7 @@ func NegMinSquared(vars []int, coef []float64, c, weight float64) Term {
 			}
 			return weight * s * s
 		},
+		Sig: TermSig("nms", vs, cf, []float64{c, weight}),
 	}
 }
 

@@ -65,7 +65,7 @@ func newTestServer(cfg Config) http.Handler {
 }
 
 // do runs one request through the handler and returns the recorder.
-func do(t *testing.T, h http.Handler, method, path, body string) *httptest.ResponseRecorder {
+func do(t testing.TB, h http.Handler, method, path, body string) *httptest.ResponseRecorder {
 	t.Helper()
 	var req *http.Request
 	if body == "" {

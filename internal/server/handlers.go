@@ -188,6 +188,67 @@ func (s *Server) handleAssess(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleTriage is the bulk assessment endpoint: one dataset, many
+// claims, amortized through a cleansel.TriageContext so the
+// perturbation/EV state compiles once per batch. Each claim's report
+// is bit-identical to what /v1/assess returns for it alone; a
+// malformed claim gets a per-claim error entry without failing the
+// batch.
+func (s *Server) handleTriage(w http.ResponseWriter, r *http.Request) {
+	s.limitBody(w, r)
+	req, err := wire.DecodeTriage(r.Body)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if len(req.Claims) == 0 {
+		s.writeError(w, badRequest(errors.New("triage needs at least one claim")))
+		return
+	}
+	s.serveComputed(w, r, "triage", req, func(ctx context.Context) (any, error) {
+		rec := obs.FromContext(ctx)
+		db, err := s.resolveDB(wire.Problem{Objects: req.Objects, DatasetID: req.DatasetID})
+		if err != nil {
+			return nil, err
+		}
+		endCompile := rec.Span("compile")
+		work, measure, sets, buildErrs, err := req.BuildTriage(db)
+		endCompile()
+		if err != nil {
+			return nil, err
+		}
+		endSolve := rec.Span("solve")
+		defer endSolve()
+		tc, err := cleansel.NewTriageContext(work)
+		if err != nil {
+			return nil, err
+		}
+		reports, assessErrs, err := tc.AssessClaims(ctx, sets)
+		if err != nil {
+			return nil, err
+		}
+		names := make([]string, len(req.Claims))
+		errs := make([]error, len(req.Claims))
+		uniq := make(map[string]struct{}, len(req.Claims))
+		ok := 0
+		for i := range req.Claims {
+			names[i] = req.Claims[i].Claim.Name
+			switch {
+			case buildErrs[i] != nil:
+				errs[i] = buildErrs[i]
+			case assessErrs[i] != nil:
+				errs[i] = assessErrs[i]
+			default:
+				uniq[sets[i].Signature()] = struct{}{}
+				ok++
+			}
+		}
+		s.met.triageClaims.With("ok").Add(float64(ok))
+		s.met.triageClaims.With("error").Add(float64(len(req.Claims) - ok))
+		return wire.EncodeTriage(measure, names, reports, errs, len(uniq)), nil
+	})
+}
+
 // datasetInfo is the metadata the dataset endpoints report.
 type datasetInfo struct {
 	ID      string `json:"id"`

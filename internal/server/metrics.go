@@ -36,6 +36,11 @@ type serverMetrics struct {
 	// across requests from each request's Recorder.
 	stageSeconds *obs.CounterVec
 	engineOps    *obs.CounterVec
+
+	// Claims processed by the bulk triage solve, by outcome (ok or
+	// error). Cache-served batches don't re-count: this measures
+	// assessment work, not traffic.
+	triageClaims *obs.CounterVec
 }
 
 // newServerMetrics registers the catalog. s must already have its
@@ -57,6 +62,8 @@ func newServerMetrics(s *Server) *serverMetrics {
 			"Cumulative solve time by stage, aggregated from per-request traces.", "stage"),
 		engineOps: reg.CounterVec("cleanseld_engine_ops_total",
 			"Cumulative engine operation counts (convolutions, EV cache traffic, pool items), aggregated from per-request traces.", "op"),
+		triageClaims: reg.CounterVec("cleanseld_triage_claims_total",
+			"Claims processed by bulk triage solves, by outcome.", "outcome"),
 	}
 	cacheOps := reg.CounterVec("cleanseld_cache_requests_total",
 		"Result-cache outcomes for select/rank/assess requests.", "status")
@@ -161,6 +168,8 @@ func endpointOf(path string) string {
 		return "rank"
 	case path == "/v1/assess":
 		return "assess"
+	case path == "/v1/triage":
+		return "triage"
 	case path == "/v1/datasets" || strings.HasPrefix(path, "/v1/datasets/"):
 		return "datasets"
 	case path == "/v1/sessions" || strings.HasPrefix(path, "/v1/sessions/"):

@@ -1,6 +1,6 @@
 // Package server implements the cleanseld HTTP/JSON service: a serving
-// layer over cleansel.Select, cleansel.RankObjects, and
-// cleansel.AssessClaim.
+// layer over cleansel.Select, cleansel.RankObjects, cleansel.AssessClaim,
+// and the bulk cleansel.TriageContext.
 //
 // Endpoints:
 //
@@ -9,16 +9,19 @@
 //	POST /v1/select        solve a selection task (inline objects or dataset_id)
 //	POST /v1/rank          standalone benefit ranking of every object
 //	POST /v1/assess        claim-quality report (bias/duplicity/fragility)
+//	POST /v1/triage        bulk assessment: many claims over one dataset, ranked
 //	POST /v1/sessions      open an interactive cleaning session (adaptive loop)
 //	GET  /v1/sessions/{id} current session state and recommendation
 //	POST /v1/sessions/{id}/clean  report one cleaned value, advance the session
 //	DELETE /v1/sessions/{id}      end a session early
 //	GET  /healthz          liveness, uptime, and cache/store/session statistics
 //
-// Successful select/rank/assess responses are cached in an LRU keyed on
-// a canonical request hash, so repeated identical requests (the common
-// pattern when many checkers inspect one viral claim) are served without
-// recomputation; the X-Cache response header reports hit or miss.
+// See docs/API.md for the full wire contract of every endpoint.
+//
+// Successful select/rank/assess/triage responses are cached in an LRU
+// keyed on a canonical request hash, so repeated identical requests (the
+// common pattern when many checkers inspect one viral claim) are served
+// without recomputation; the X-Cache response header reports hit or miss.
 // Requests are bounded by a per-request timeout and a maximum body size,
 // and every request is access-logged through log/slog with latency and
 // cache-status fields.
@@ -344,6 +347,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/select", s.handleSelect)
 	mux.HandleFunc("POST /v1/rank", s.handleRank)
 	mux.HandleFunc("POST /v1/assess", s.handleAssess)
+	mux.HandleFunc("POST /v1/triage", s.handleTriage)
 	mux.HandleFunc("POST /v1/sessions", s.handleSessionCreate)
 	mux.HandleFunc("GET /v1/sessions/{id}", s.handleSessionGet)
 	mux.HandleFunc("POST /v1/sessions/{id}/clean", s.handleSessionClean)

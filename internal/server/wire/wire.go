@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -86,6 +87,61 @@ type AssessRequest struct {
 	Problem
 }
 
+// TriageClaim is one claim in a triage batch: the claim under scrutiny
+// with its perturbation set and strength parameters — the per-claim
+// subset of Problem (data and discretization are batch-level).
+type TriageClaim struct {
+	Claim         Claim          `json:"claim"`
+	Direction     string         `json:"direction,omitempty"` // "higher" (default) or "lower"
+	Reference     *float64       `json:"reference,omitempty"`
+	Perturbations []Perturbation `json:"perturbations"`
+}
+
+// TriageRequest is the body of POST /v1/triage: one dataset (inline or
+// by reference), a batch of claims to assess against it, and the
+// measure whose variance ranks them.
+type TriageRequest struct {
+	Objects    []Object      `json:"objects,omitempty"`
+	DatasetID  string        `json:"dataset_id,omitempty"`
+	Measure    string        `json:"measure,omitempty"` // fairness|uniqueness|robustness
+	Discretize int           `json:"discretize,omitempty"`
+	Claims     []TriageClaim `json:"claims"`
+}
+
+// TriageError is a per-claim failure inside an otherwise-successful
+// triage batch.
+type TriageError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// TriageEntry is one claim's slot in a triage response: either a
+// report with its rank and score, or an error.
+type TriageEntry struct {
+	Index  int          `json:"index"` // position in the request's claims array
+	Name   string       `json:"name,omitempty"`
+	Rank   int          `json:"rank,omitempty"` // 1-based; 0 for errored claims
+	Score  float64      `json:"score"`
+	Report *Report      `json:"report,omitempty"`
+	Error  *TriageError `json:"error,omitempty"`
+}
+
+// TriageStats summarizes a triage batch.
+type TriageStats struct {
+	Claims int `json:"claims"`
+	Unique int `json:"unique"` // distinct claims after signature dedup
+	Errors int `json:"errors"`
+}
+
+// TriageResponse is the body of a successful POST /v1/triage: entries
+// sorted by descending score (ties broken by request position),
+// errored claims last in request order.
+type TriageResponse struct {
+	Measure string        `json:"measure"`
+	Claims  []TriageEntry `json:"claims"`
+	Stats   TriageStats   `json:"stats"`
+}
+
 // Dataset is the body of POST /v1/datasets: a reusable set of objects.
 type Dataset struct {
 	Name    string   `json:"name,omitempty"`
@@ -146,6 +202,9 @@ func DecodeAssess(r io.Reader) (AssessRequest, error) { return decodeStrict[Asse
 
 // DecodeDataset parses a dataset upload.
 func DecodeDataset(r io.Reader) (Dataset, error) { return decodeStrict[Dataset](r) }
+
+// DecodeTriage parses a triage request.
+func DecodeTriage(r io.Reader) (TriageRequest, error) { return decodeStrict[TriageRequest](r) }
 
 // BuildObjects maps object specifications onto cleansel objects,
 // validating each value model.
@@ -300,6 +359,97 @@ func (a *AssessRequest) BuildAssess(db *cleansel.DB) (*cleansel.DB, *cleansel.Pe
 		return nil, nil, err
 	}
 	return db, set, nil
+}
+
+// BuildTriage resolves the batch against db: the working database
+// (batch-level discretization applied, exactly as BuildAssess applies
+// it for a single claim), the scoring measure, and one perturbation
+// set per claim. A claim that fails to build gets a nil set and its
+// error in errs[i] — per-claim failures never fail the batch; only an
+// unparseable measure does.
+func (t *TriageRequest) BuildTriage(db *cleansel.DB) (*cleansel.DB, cleansel.Measure, []*cleansel.PerturbationSet, []error, error) {
+	measure, err := cleansel.ParseMeasure(t.Measure)
+	if err != nil {
+		return nil, 0, nil, nil, err
+	}
+	if t.Discretize > 0 {
+		db = db.Discretized(t.Discretize)
+	}
+	sets := make([]*cleansel.PerturbationSet, len(t.Claims))
+	errs := make([]error, len(t.Claims))
+	for i, c := range t.Claims {
+		p := Problem{
+			Claim:         c.Claim,
+			Direction:     c.Direction,
+			Reference:     c.Reference,
+			Perturbations: c.Perturbations,
+		}
+		set, err := p.BuildSet(db)
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		sets[i] = set
+	}
+	return db, measure, sets, errs, nil
+}
+
+// TriageScore extracts the ranking score from a report: the configured
+// measure's variance — the claim-quality uncertainty that cleaning
+// effort could remove, i.e. how much a fact-checker's attention is
+// worth on this claim.
+func TriageScore(measure cleansel.Measure, rep cleansel.QualityReport) float64 {
+	switch measure {
+	case cleansel.Uniqueness:
+		return rep.DupVariance
+	case cleansel.Robustness:
+		return rep.FragVariance
+	default:
+		return rep.BiasVariance
+	}
+}
+
+// EncodeTriage assembles the ranked response: scored entries sorted by
+// descending score with ties broken by request position, then errored
+// entries in request position order with rank 0.
+func EncodeTriage(measure cleansel.Measure, names []string, reports []cleansel.QualityReport, errs []error, unique int) TriageResponse {
+	resp := TriageResponse{
+		Measure: measure.String(),
+		Stats:   TriageStats{Claims: len(names), Unique: unique},
+	}
+	var scored, failed []TriageEntry
+	for i, name := range names {
+		if errs[i] != nil {
+			failed = append(failed, TriageEntry{
+				Index: i,
+				Name:  name,
+				Error: &TriageError{Code: "bad_claim", Message: errs[i].Error()},
+			})
+			continue
+		}
+		rep := EncodeReport(reports[i])
+		scored = append(scored, TriageEntry{
+			Index:  i,
+			Name:   name,
+			Score:  TriageScore(measure, reports[i]),
+			Report: &rep,
+		})
+	}
+	sort.SliceStable(scored, func(a, b int) bool {
+		if scored[a].Score != scored[b].Score {
+			return scored[a].Score > scored[b].Score
+		}
+		return scored[a].Index < scored[b].Index
+	})
+	for r := range scored {
+		scored[r].Rank = r + 1
+	}
+	resp.Claims = append(scored, failed...)
+	if resp.Claims == nil {
+		resp.Claims = []TriageEntry{}
+	}
+	resp.Stats.Errors = len(failed)
+	return resp
 }
 
 // EncodeResult maps a selection result onto the wire.

@@ -1,5 +1,12 @@
 // Package stats provides the summary statistics the experiment harness
-// reports: means, deviations, and quantiles over repeated runs.
+// reports: means, deviations, extrema, and quantiles over repeated runs.
+//
+// Contract: every function is a pure fold over its input slice in index
+// order (Quantile sorts a copy; the caller's slice is never mutated), so
+// results are deterministic in the input sequence — the same bit-identity
+// rule the rest of the library follows. Empty-input conventions match
+// each function's identity element (Mean/Var 0, Min/Max ±Inf,
+// Quantile NaN); callers render missing series explicitly.
 package stats
 
 import (

@@ -37,6 +37,17 @@
 # cleanseld_request_seconds histogram scraped off /metrics — the same
 # numbers an operator's dashboards would show — into BENCH_serve.json.
 # SERVE_N=0 skips the phase.
+#
+# A third phase benchmarks bulk triage amortization: it runs
+# BenchmarkTriageThroughput (one claim stream posted as per-claim
+# /v1/assess requests vs one /v1/triage batch) at batch sizes 1, 10 and
+# 100, and writes BENCH_triage.json with claims/sec for both paths and
+# the amortized-over-naive speedup per batch size. The batch=100
+# speedup is gated by MIN_TRIAGE_SPEEDUP (default 5): the whole point
+# of the bulk endpoint is that cross-claim amortization wins by an
+# order of magnitude at firehose batch sizes, and a regression below
+# 5x means the shared EV cache or signature dedup quietly stopped
+# paying. TRIAGE=0 skips the phase.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -218,4 +229,70 @@ if [ "$serve_n" -gt 0 ]; then
   ' "$servedir/metrics" > "$serve_out"
   echo "wrote $serve_out:"
   cat "$serve_out"
+fi
+
+########################################################################
+# Bulk-triage amortization: the naive path replays the claim stream as
+# standalone /v1/assess requests (renamed per arrival, so the result
+# cache cannot shortcut — the paraphrased-repost worst case); the
+# amortized path posts the same stream as one /v1/triage batch. Both
+# report claims/sec; the ratio at batch=100 is the amortization win the
+# endpoint exists to deliver, and it is gated.
+triage="${TRIAGE:-1}"
+triage_out="${BENCH_TRIAGE_OUT:-BENCH_triage.json}"
+min_triage_speedup="${MIN_TRIAGE_SPEEDUP:-5}"
+if [ "$triage" != "0" ]; then
+  go test -run '^$' -bench 'BenchmarkTriageThroughput' \
+    -benchtime "$benchtime" -count "$count" ./internal/server | tee "$raw"
+
+  awk -v benchtime="$benchtime" -v count="$count" -v floor="$min_triage_speedup" '
+    /^BenchmarkTriageThroughput\// && /ns\/op/ {
+      name = $1
+      sub(/-[0-9]+$/, "", name)
+      split(name, parts, "/")
+      path = parts[2]                    # naive | amortized
+      batch = parts[3]
+      sub(/^batch=/, "", batch)
+      key = path "|" batch
+      reps[key]++
+      samples[key "|" reps[key]] = $3 + 0
+      if (path == "naive" && !(batch in seen)) { order[++nb] = batch; seen[batch] = 1 }
+    }
+    function med(key,   m, i, j, v, arr) {
+      m = reps[key]
+      for (i = 1; i <= m; i++) arr[i] = samples[key "|" i]
+      for (i = 2; i <= m; i++) {
+        v = arr[i]
+        for (j = i - 1; j >= 1 && arr[j] > v; j--) arr[j + 1] = arr[j]
+        arr[j + 1] = v
+      }
+      if (m % 2) return arr[(m + 1) / 2]
+      return (arr[m / 2] + arr[m / 2 + 1]) / 2
+    }
+    END {
+      if (nb == 0) { print "bench.sh: no triage benchmark output parsed" > "/dev/stderr"; exit 1 }
+      printf "{\n  \"benchtime\": \"%s\",\n  \"count\": %d,\n  \"speedup_basis\": \"median\",\n  \"results\": [", benchtime, count
+      for (i = 1; i <= nb; i++) {
+        b = order[i]
+        nn = med("naive|" b); na = med("amortized|" b)
+        if (nn <= 0 || na <= 0) continue
+        sp = nn / na
+        printf "%s\n    {\"batch\":%s,\"naive_claims_per_sec\":%.1f,\"amortized_claims_per_sec\":%.1f,\"speedup\":%.3f}", \
+          (i > 1 ? "," : ""), b, b * 1e9 / nn, b * 1e9 / na, sp
+        maxbatch_sp[b + 0] = sp
+        if (b + 0 > maxb) maxb = b + 0
+      }
+      printf "\n  ]\n}\n"
+      if (floor + 0 > 0 && maxbatch_sp[maxb] < floor + 0) {
+        printf "TRIAGE-SPEEDUP-FAIL batch=%d: %.3fx (floor %s)\n", maxb, maxbatch_sp[maxb], floor > "/dev/stderr"
+        exit 1
+      }
+    }
+  ' "$raw" > "$triage_out" || {
+    echo "wrote $triage_out (triage amortization below floor $min_triage_speedup):" >&2
+    cat "$triage_out" >&2
+    exit 1
+  }
+  echo "wrote $triage_out:"
+  cat "$triage_out"
 fi

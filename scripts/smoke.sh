@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # Smoke test for cleanseld: build the daemon, start it on a random port,
 # exercise the dataset + select + cache flow with the quickstart
-# requests, and assert well-formed 200 responses. Used by CI and
-# runnable locally: ./scripts/smoke.sh
+# requests, and assert well-formed 200 responses. A final phase drives
+# /v1/triage over the quickstart claim stream and asserts the bulk path
+# serves the exact bytes /v1/assess serves claim by claim, with renamed
+# duplicate claims deduplicated. Used by CI and runnable locally:
+# ./scripts/smoke.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -88,7 +91,42 @@ v=$(metric 'cleanseld_cache_requests_total{status="miss"}')
 [ "$v" = 3 ] || { echo "FAIL: cache misses $v != 3"; exit 1; }
 metric 'cleanseld_solve_stage_seconds_total{stage="solve"}' >/dev/null
 
+# Bulk triage: the quickstart claim stream (three claims, two of which
+# are the same claim under different names) must come back fully
+# ranked, with the renamed repost deduplicated.
+status=$(curl -s -o "$workdir/triage" -w '%{http_code}' \
+  -X POST --data @examples/quickstart/triage.json "$base/v1/triage")
+[ "$status" = 200 ] || { echo "FAIL: /v1/triage -> $status"; cat "$workdir/triage"; exit 1; }
+jq -e '.stats == {claims: 3, unique: 2, errors: 0}
+       and (.claims | length) == 3
+       and ([.claims[].rank] | sort) == [1, 2, 3]' \
+  "$workdir/triage" >/dev/null || { echo "FAIL: malformed triage result"; cat "$workdir/triage"; exit 1; }
+
+# Signature dedup: "mar-vs-jan" and its renamed repost carry the
+# identical report.
+diff <(jq -S '.claims[] | select(.index == 0) | .report' "$workdir/triage") \
+     <(jq -S '.claims[] | select(.index == 1) | .report' "$workdir/triage") \
+  || { echo "FAIL: deduplicated claims report differently"; exit 1; }
+
+# Amortization round-trip: every triage report must be byte-identical
+# to the standalone /v1/assess answer for the same claim.
+for i in 0 1 2; do
+  jq --argjson i "$i" '{objects} + (.claims[$i] | {claim, direction, perturbations})' \
+    examples/quickstart/triage.json > "$workdir/assess$i.json"
+  status=$(curl -s -o "$workdir/assess$i" -w '%{http_code}' \
+    -X POST --data @"$workdir/assess$i.json" "$base/v1/assess")
+  [ "$status" = 200 ] || { echo "FAIL: /v1/assess claim $i -> $status"; cat "$workdir/assess$i"; exit 1; }
+  diff <(jq -S --argjson i "$i" '.claims[] | select(.index == $i) | .report' "$workdir/triage") \
+       <(jq -S . "$workdir/assess$i") \
+    || { echo "FAIL: triage report for claim $i differs from standalone assess"; exit 1; }
+done
+
+# The batch shows up in the triage claim counter (all three scored).
+curl -s -o "$workdir/metrics" "$base/metrics"
+v=$(metric 'cleanseld_triage_claims_total{outcome="ok"}')
+[ "$v" = 3 ] || { echo "FAIL: triage ok-claim count $v != 3"; exit 1; }
+
 kill "$pid"
 wait "$pid" 2>/dev/null || true
 pid=""
-echo "smoke OK: $base served healthz, datasets, select (miss+hit), trace, metrics"
+echo "smoke OK: $base served healthz, datasets, select (miss+hit), trace, metrics, triage (dedup + assess parity)"

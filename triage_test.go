@@ -1,0 +1,177 @@
+package cleansel_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	cleansel "github.com/factcheck/cleansel"
+	"github.com/factcheck/cleansel/internal/datasets"
+	"github.com/factcheck/cleansel/internal/expt"
+	"github.com/factcheck/cleansel/internal/parallel"
+)
+
+// streamFixture returns a shared dataset and a claim stream with
+// renamed duplicates (arrivals > families).
+func streamFixture(arrivals, families int) (*cleansel.DB, []*cleansel.PerturbationSet) {
+	db, stream := expt.ClaimStream(datasets.UR, 24, 4, arrivals, families, 7)
+	sets := make([]*cleansel.PerturbationSet, len(stream))
+	for i, sc := range stream {
+		sets[i] = sc.Set
+	}
+	return db, sets
+}
+
+func mustReport(t *testing.T, db *cleansel.DB, set *cleansel.PerturbationSet) cleansel.QualityReport {
+	t.Helper()
+	rep, err := cleansel.AssessClaim(db, set)
+	if err != nil {
+		t.Fatalf("AssessClaim: %v", err)
+	}
+	return rep
+}
+
+// TestTriageBitIdenticalToStandaloneAssess pins the amortization
+// contract end to end: every per-claim report out of a triage batch is
+// bit-for-bit the report a standalone AssessClaim produces, at several
+// worker counts.
+func TestTriageBitIdenticalToStandaloneAssess(t *testing.T) {
+	db, sets := streamFixture(9, 4)
+	want := make([]cleansel.QualityReport, len(sets))
+	for i, set := range sets {
+		want[i] = mustReport(t, db, set)
+	}
+	for _, workers := range []string{"1", "2", "8"} {
+		t.Setenv(parallel.EnvWorkers, workers)
+		tc, err := cleansel.NewTriageContext(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, errs, err := tc.AssessClaims(context.Background(), sets)
+		if err != nil {
+			t.Fatalf("workers=%s: AssessClaims: %v", workers, err)
+		}
+		for i := range sets {
+			if errs[i] != nil {
+				t.Fatalf("workers=%s: claim %d errored: %v", workers, i, errs[i])
+			}
+			if got[i] != want[i] {
+				t.Fatalf("workers=%s: claim %d: triage %+v != standalone %+v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestTriageSequentialMatchesBatch pins that one-at-a-time assessment
+// through a TriageContext (cache progressively warm) equals the batch
+// path and the cold path bitwise.
+func TestTriageSequentialMatchesBatch(t *testing.T) {
+	db, sets := streamFixture(6, 3)
+	tc, err := cleansel.NewTriageContext(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, set := range sets {
+		got, err := tc.AssessClaim(context.Background(), set)
+		if err != nil {
+			t.Fatalf("claim %d: %v", i, err)
+		}
+		if want := mustReport(t, db, set); got != want {
+			t.Fatalf("claim %d: sequential triage %+v != standalone %+v", i, got, want)
+		}
+	}
+}
+
+// TestTriageDeduplicatesRenamedClaims pins the batch dedup policy:
+// signature-identical claims (names differ, everything else equal) are
+// assessed once and all receive the identical report.
+func TestTriageDeduplicatesRenamedClaims(t *testing.T) {
+	db, sets := streamFixture(10, 2) // 5 renamed copies of each family
+	tc, err := cleansel.NewTriageContext(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, errs, err := tc.AssessClaims(context.Background(), sets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sets {
+		if errs[i] != nil {
+			t.Fatalf("claim %d errored: %v", i, errs[i])
+		}
+		if j := i % 2; reports[i] != reports[j] {
+			t.Fatalf("renamed duplicate %d diverged from representative %d", i, j)
+		}
+	}
+}
+
+// TestTriageMalformedClaimFailsAlone pins per-claim error isolation: a
+// nil set yields an error entry while its batchmates assess normally.
+func TestTriageMalformedClaimFailsAlone(t *testing.T) {
+	db, sets := streamFixture(3, 3)
+	sets[1] = nil
+	tc, err := cleansel.NewTriageContext(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, errs, err := tc.AssessClaims(context.Background(), sets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs[1] == nil {
+		t.Fatal("nil set did not produce a per-claim error")
+	}
+	for _, i := range []int{0, 2} {
+		if errs[i] != nil {
+			t.Fatalf("healthy claim %d poisoned by batchmate: %v", i, errs[i])
+		}
+		if want := mustReport(t, db, sets[i]); reports[i] != want {
+			t.Fatalf("claim %d: %+v != standalone %+v", i, reports[i], want)
+		}
+	}
+}
+
+// TestTriageCancellationDrains pins cooperative cancellation: a
+// pre-cancelled context fails the whole batch with the cancel cause,
+// and the call returns only after in-flight workers drain.
+func TestTriageCancellationDrains(t *testing.T) {
+	db, sets := streamFixture(8, 8)
+	tc, err := cleansel.NewTriageContext(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cause := errors.New("triage deadline")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cancel(cause)
+	if _, _, err := tc.AssessClaims(ctx, sets); !errors.Is(err, cause) {
+		t.Fatalf("cancelled batch returned %v, want cause %v", err, cause)
+	}
+	// The context must still be usable for a fresh, uncancelled batch.
+	if _, errs, err := tc.AssessClaims(context.Background(), sets); err != nil {
+		t.Fatalf("post-cancel batch: %v", err)
+	} else {
+		for i, e := range errs {
+			if e != nil {
+				t.Fatalf("post-cancel claim %d: %v", i, e)
+			}
+		}
+	}
+}
+
+// TestTriageSharedCacheActuallyShares pins that the Γ-anchored family
+// structure produces cross-claim cache traffic (the amortization isn't
+// vacuously "on").
+func TestTriageSharedCacheActuallyShares(t *testing.T) {
+	db, sets := streamFixture(4, 4) // four distinct families, no renames
+	tc, err := cleansel.NewTriageContext(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := tc.AssessClaims(context.Background(), sets); err != nil {
+		t.Fatal(err)
+	}
+	hits, _ := tc.SharedCacheStats()
+	if hits == 0 {
+		t.Fatal("distinct Γ-family claims produced zero shared-cache hits")
+	}
+}
