@@ -6,17 +6,17 @@ import (
 	"github.com/factcheck/cleansel/internal/rng"
 )
 
-// BenchmarkWeightedSumWide convolves a reach≈1e12 integer workload —
-// eight 4-point integer supports around 1e11 — on the exact integer
-// grid (the scale-aware regime the fixed 1e-9 grid used to reject).
-// scripts/bench.sh records it into BENCH_parallel.json so regressions
-// in the wide-magnitude hot path are visible next to the parallel
-// numbers.
-func BenchmarkWeightedSumWide(b *testing.B) {
+// wideConvWorkload builds the reach≈1e12 integer workload the wide
+// benchmarks (and the BENCH_parallel.json dense-vs-map gate) share:
+// eight 4-point integer supports around 1e11 on the exact integer grid
+// — the scale-aware regime the fixed 1e-9 grid used to reject, and a
+// shape whose 4^8 product state space collapses onto a ~3e4-cell dense
+// lattice once the common 1e8 factor is divided out.
+func wideConvWorkload() (offset float64, weights []float64, parts []*Discrete) {
 	r := rng.New(7)
 	const nParts = 8
-	parts := make([]*Discrete, nParts)
-	weights := make([]float64, nParts)
+	parts = make([]*Discrete, nParts)
+	weights = make([]float64, nParts)
 	for i := range parts {
 		vals := make([]float64, 4)
 		for j := range vals {
@@ -25,7 +25,17 @@ func BenchmarkWeightedSumWide(b *testing.B) {
 		parts[i] = UniformOver(vals)
 		weights[i] = float64(r.IntRange(1, 3))
 	}
-	g, reach, err := ConvGrid(12345, weights, parts)
+	return 12345, weights, parts
+}
+
+// BenchmarkWeightedSumWide convolves the wide integer workload through
+// the public path (the dense kernel, since the shape certifies).
+// scripts/bench.sh records it into BENCH_parallel.json so regressions
+// in the wide-magnitude hot path are visible next to the parallel
+// numbers.
+func BenchmarkWeightedSumWide(b *testing.B) {
+	offset, weights, parts := wideConvWorkload()
+	g, reach, err := ConvGrid(offset, weights, parts)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -35,7 +45,46 @@ func BenchmarkWeightedSumWide(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := WeightedSum(12345, weights, parts); err != nil {
+		if _, err := WeightedSum(offset, weights, parts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWeightedSumDense is the dense side of the BENCH_parallel.json
+// dense-vs-map speedup row: BenchmarkWeightedSumWide's workload shape,
+// asserted onto the dense lattice kernel.
+func BenchmarkWeightedSumDense(b *testing.B) {
+	offset, weights, parts := wideConvWorkload()
+	grid, reach, err := ConvGrid(offset, weights, parts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, ok := weightedSumLattice(offset, weights, parts, grid, reach); !ok {
+		b.Fatal("workload does not certify for the dense kernel")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := WeightedSum(offset, weights, parts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWeightedSumMap forces the same workload down the hashed-map
+// path: the denominator of the dense-vs-map speedup gate (≥5× floor,
+// enforced by scripts/bench.sh).
+func BenchmarkWeightedSumMap(b *testing.B) {
+	offset, weights, parts := wideConvWorkload()
+	grid, _, err := ConvGrid(offset, weights, parts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := weightedSumMap(nil, grid, offset, weights, parts); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -73,33 +73,15 @@ func mixture(st *convStats, dists []*Discrete, weights []float64) (*Discrete, er
 		return nil, errors.New("dist: Mixture weights sum to zero")
 	}
 	grid := poolGrid(dists, weights)
-	pooled := map[int64]float64{}
-	vals := map[int64]float64{}
+	groups := make([]poolGroup, 0, len(dists))
 	for k, d := range dists {
 		if weights[k] == 0 {
 			continue
 		}
-		for j, v := range d.Values {
-			key := grid.Key(v)
-			if _, seen := vals[key]; !seen {
-				vals[key] = v
-			} else if st != nil {
-				st.merged++
-			}
-			if st != nil {
-				st.ops++
-			}
-			pooled[key] += weights[k] * d.Probs[j]
-		}
+		groups = append(groups, poolGroup{values: d.Values, probs: d.Probs, w: weights[k]})
 	}
-	keys := numeric.SortedKeys(pooled)
-	values := make([]float64, len(keys))
-	probs := make([]float64, len(keys))
-	for i, k := range keys {
-		values[i] = vals[k]
-		probs[i] = pooled[k]
-	}
-	return NewDiscrete(values, probs)
+	values, masses := poolOnGrid(st, grid, groups)
+	return NewDiscrete(values, masses)
 }
 
 // WeightedSum returns the exact law of D = offset + Σ_i weights[i]·X_i
@@ -146,18 +128,31 @@ func WeightedSumRec(rec *obs.Recorder, offset float64, weights []float64, parts 
 }
 
 func weightedSum(st *convStats, offset float64, weights []float64, parts []*Discrete) (*Discrete, error) {
-	grid, _, err := ConvGrid(offset, weights, parts)
+	grid, reach, err := ConvGrid(offset, weights, parts)
 	if err != nil {
 		return nil, err
 	}
+	if lat, ok := weightedSumLattice(offset, weights, parts, grid, reach); ok {
+		return weightedSumDense(st, offset, weights, parts, lat)
+	}
+	return weightedSumMap(st, grid, offset, weights, parts)
+}
+
+// weightedSumMap is the hashed-key convolution: the general path for
+// supports the dense certificate rejects (non-dyadic values, relative
+// grids, sparse wide spans), and the reference the dense kernel is
+// fuzz-pinned against.
+func weightedSumMap(st *convStats, grid numeric.Grid, offset float64, weights []float64, parts []*Discrete) (*Discrete, error) {
 	probs := map[int64]float64{grid.Key(offset): 1}
 	vals := map[int64]float64{grid.Key(offset): offset}
 	for i, part := range parts {
 		if weights[i] == 0 {
 			continue
 		}
-		nextProbs := make(map[int64]float64, len(probs)*part.Size())
-		nextVals := make(map[int64]float64, len(probs)*part.Size())
+		// The raw product is only an upper bound on the layer size (and
+		// can overflow int); mapSizeHint caps the pre-allocation.
+		nextProbs := make(map[int64]float64, mapSizeHint(len(probs), part.Size()))
+		nextVals := make(map[int64]float64, mapSizeHint(len(probs), part.Size()))
 		// Sorted iteration: several source atoms can land on one
 		// destination key, and the += below must add them in a fixed
 		// order for the sum to be bit-stable across runs.

@@ -1,0 +1,474 @@
+package dist
+
+import (
+	"math"
+	"sync"
+
+	"github.com/factcheck/cleansel/internal/numeric"
+)
+
+// Dense-span convolution and pooling.
+//
+// After PR 5 every convolution lives on a known uniform numeric.Grid, so
+// whenever the working support is an integer lattice the per-layer
+// map[int64]float64 (hash, bucket chase, SortedKeys re-sort) is a dense
+// []float64 in disguise: cell index = (key − lo)/stride. The kernel here
+// runs exactly that layout, and is used only when a pre-flight
+// certificate (convLattice / poolDense's checks) proves the result is
+// bit-identical to the map path:
+//
+//   - every atom the convolution adds — the offset and each fp product
+//     weights[i]·v — is a multiple of a common dyadic stride d = 2^-shift
+//     (the same dyadicShift test the exact-grid ladder already uses);
+//   - one stride spans an exact integer number of grid cells ≥ 1
+//     (numeric.Grid.CellsPerStride), so lattice order and key order agree
+//     and distinct lattice points get distinct keys;
+//   - every reachable partial sum, measured in strides on the actual
+//     integer atoms (sumAbs below), stays inside float64's exact-integer
+//     range both as a value (≤ 2^53 strides) and as a scaled key
+//     (≤ 2^53 cells) — so every fp add the map path performs is exact,
+//     merge-by-key coincides with merge-by-lattice-point, and the
+//     first-seen value the map keeps per key reconstructs bit-for-bit
+//     as float64(units)·d.
+//
+// Under that certificate the dense pass visits source cells in ascending
+// index order (= ascending key order, = the map path's SortedKeys order)
+// and atoms in slice order, so every float64 addition happens in the same
+// sequence with the same operands: the output Discrete is bit-identical,
+// and the conv_ops/conv_atoms_merged trace counters tick identically.
+// Anything that fails the certificate — non-dyadic values, a relative
+// (scale < 1) grid, spans past the width caps, a −0.0 that the map path
+// would preserve but value reconstruction cannot — falls back to the map
+// path unchanged. FuzzDenseVsMap pins the equivalence.
+
+// maxDenseWidth caps a dense span at 2^20 cells (8 MiB per float buffer):
+// wider lattices fall back to the map path rather than committing
+// unbounded memory to a sparse support.
+const maxDenseWidth = 1 << 20
+
+// maxDenseFanout bounds span width relative to the work the map path
+// would do (the product state space for a convolution, the atom count
+// for a pool): a span more than 64× wider than the atom traffic is
+// sparse territory where scanning cells loses to hashing atoms.
+const maxDenseFanout = 64
+
+// denseScratch holds the reusable buffers of one dense convolution: the
+// ping-pong probability spans, their occupancy masks, and the per-layer
+// integer step table. Pooled so steady-state convolutions allocate
+// nothing beyond the result Discrete; every cell is (re)initialized
+// before it is read, so reuse cannot leak state between convolutions.
+type denseScratch struct {
+	probsA, probsB []float64
+	seenA, seenB   []bool
+	steps          []int64
+}
+
+var denseScratchPool = sync.Pool{New: func() any { return new(denseScratch) }}
+
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}
+
+func growInts(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	return s[:n]
+}
+
+// gcd64 folds |b| into the running non-negative gcd a.
+func gcd64(a, b int64) int64 {
+	if b < 0 {
+		b = -b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// convLattice is the certificate weightedSumLattice produces before the
+// dense kernel may run: the common dyadic stride, the lattice step, the
+// integer offset, and the exact final span width.
+type convLattice struct {
+	shift  int   // atoms are multiples of d = 2^-shift
+	g      int64 // lattice step in strides: gcd of within-part atom deltas
+	offInt int64 // offset in strides
+	width  int   // final span cells: 1 + Σ_i (maxA_i − minA_i)/g
+}
+
+// weightedSumLattice checks the dense-kernel certificate for one
+// convolution (see the package comment above for the conditions) and
+// derives the span geometry from the already-validated reach — the
+// allocation is exact, never speculative. Returns ok=false whenever any
+// condition fails; the caller then takes the map path.
+func weightedSumLattice(offset float64, weights []float64, parts []*Discrete, grid numeric.Grid, reach float64) (convLattice, bool) {
+	if !grid.KeysExactWithin(reach) {
+		return convLattice{}, false
+	}
+	// A −0.0 offset that survives to the output (no layer shifts it)
+	// would reconstruct as +0.0; the map path keeps the exact −0.0 bits.
+	if offset == 0 && math.Signbit(offset) {
+		return convLattice{}, false
+	}
+	shift, ok := dyadicShift(offset)
+	if !ok {
+		return convLattice{}, false
+	}
+	states := 1
+	for i, w := range weights {
+		if w == 0 {
+			continue
+		}
+		for _, v := range parts[i].Values {
+			s, ok := dyadicShift(w * v)
+			if !ok {
+				return convLattice{}, false
+			}
+			if s > shift {
+				shift = s
+			}
+		}
+		// Saturating product: the bound below only needs to know
+		// whether the state space dwarfs the span, not its exact size.
+		if states <= maxDenseWidth*maxDenseFanout {
+			states *= parts[i].Size()
+		}
+	}
+	t, ok := grid.CellsPerStride(math.Ldexp(1, -shift))
+	if !ok {
+		return convLattice{}, false
+	}
+	// Integer atoms, lattice gcd, span extent, and the authoritative
+	// exactness bound. KeysExactWithin above guarantees every product
+	// below is far inside int64 before conversion; the integer sumAbs
+	// check then certifies — on the actual atoms, immune to fp slop in
+	// reach — that no reachable partial sum or key leaves the exact
+	// range.
+	pow2 := math.Ldexp(1, shift)
+	offInt := int64(offset * pow2)
+	sumAbs := offInt
+	if sumAbs < 0 {
+		sumAbs = -sumAbs
+	}
+	var g, span int64
+	for i, w := range weights {
+		if w == 0 {
+			continue
+		}
+		first := int64(w * parts[i].Values[0] * pow2)
+		minA, maxA := first, first
+		for _, v := range parts[i].Values[1:] {
+			a := int64(w * v * pow2)
+			if a < minA {
+				minA = a
+			}
+			if a > maxA {
+				maxA = a
+			}
+			g = gcd64(g, a-first)
+		}
+		span += maxA - minA
+		if -minA > maxA {
+			sumAbs += -minA
+		} else {
+			sumAbs += maxA
+		}
+	}
+	if sumAbs > maxExactInt/t {
+		return convLattice{}, false
+	}
+	if g == 0 {
+		g = 1
+	}
+	width := span/g + 1
+	if width > maxDenseWidth || width > int64(maxDenseFanout)*int64(states) {
+		return convLattice{}, false
+	}
+	return convLattice{shift: shift, g: g, offInt: offInt, width: int(width)}, true
+}
+
+// weightedSumDense is the dense twin of weightedSumMap, run only under a
+// convLattice certificate. Same layer structure, same visit order
+// (source cells ascending = keys ascending, atoms in slice order), same
+// fp operands — bit-identical output and trace counters.
+func weightedSumDense(st *convStats, offset float64, weights []float64, parts []*Discrete, lat convLattice) (*Discrete, error) {
+	sc := denseScratchPool.Get().(*denseScratch)
+	cur := growFloats(sc.probsA, lat.width)
+	next := growFloats(sc.probsB, lat.width)
+	curSeen := growBools(sc.seenA, lat.width)
+	nextSeen := growBools(sc.seenB, lat.width)
+	pow2 := math.Ldexp(1, lat.shift)
+	cur[0], curSeen[0] = 1, true
+	curLo, curN := lat.offInt, 1
+	for i, part := range parts {
+		if weights[i] == 0 {
+			continue
+		}
+		steps := growInts(sc.steps, part.Size())
+		sc.steps = steps
+		minA := int64(math.MaxInt64)
+		for j, v := range part.Values {
+			a := int64(weights[i] * v * pow2)
+			steps[j] = a
+			if a < minA {
+				minA = a
+			}
+		}
+		var maxStep int64
+		for j := range steps {
+			steps[j] = (steps[j] - minA) / lat.g
+			if steps[j] > maxStep {
+				maxStep = steps[j]
+			}
+		}
+		destN := curN + int(maxStep)
+		clear(next[:destN])
+		clear(nextSeen[:destN])
+		for m := 0; m < curN; m++ {
+			if !curSeen[m] {
+				continue
+			}
+			p := cur[m]
+			for j, step := range steps {
+				idx := m + int(step)
+				if !nextSeen[idx] {
+					nextSeen[idx] = true
+				} else if st != nil {
+					st.merged++
+				}
+				if st != nil {
+					st.ops++
+				}
+				next[idx] += p * part.Probs[j]
+			}
+		}
+		cur, next = next, cur
+		curSeen, nextSeen = nextSeen, curSeen
+		curLo += minA
+		curN = destN
+	}
+	n := 0
+	for m := 0; m < curN; m++ {
+		if curSeen[m] {
+			n++
+		}
+	}
+	values := make([]float64, 0, n)
+	probs := make([]float64, 0, n)
+	d := math.Ldexp(1, -lat.shift)
+	for m := 0; m < curN; m++ {
+		if !curSeen[m] {
+			continue
+		}
+		// Exact reconstruction of the first-seen sum the map path would
+		// store: the units fit 2^53, so float64(units)·d is the exact
+		// lattice value, bit for bit.
+		values = append(values, float64(curLo+int64(m)*lat.g)*d)
+		probs = append(probs, cur[m])
+	}
+	sc.probsA, sc.probsB = cur, next
+	sc.seenA, sc.seenB = curSeen, nextSeen
+	denseScratchPool.Put(sc)
+	return NewDiscrete(values, probs)
+}
+
+// poolGroup is one component of a pooling pass: atoms, their masses, and
+// a mass multiplier (a mixture weight, or 1 for a plain pmf
+// accumulation). Atom order inside a group and group order across the
+// slice fix the fp accumulation order.
+type poolGroup struct {
+	values []float64
+	probs  []float64
+	w      float64
+}
+
+// poolOnGrid pools a fixed-order atom stream onto grid keys: mass
+// w·probs[j] accumulates per key in stream order, each key keeps the
+// first exact value seen, and the pooled support comes back in ascending
+// key order. The dense lattice path runs when the certificate holds and
+// is bit-identical to the map fallback (same adds, same order); Mixture
+// and ev.Entropy both pool through here.
+func poolOnGrid(st *convStats, grid numeric.Grid, groups []poolGroup) ([]float64, []float64) {
+	if values, masses, ok := poolDense(st, grid, groups); ok {
+		return values, masses
+	}
+	return poolMap(st, grid, groups)
+}
+
+// PoolPMF pools an already-enumerated outcome stream (values[i] with
+// mass probs[i], in stream order) onto the grid: masses accumulate per
+// key in stream order, and both returned slices come back in ascending
+// key order, values holding the first exact outcome seen per key. It is
+// exactly the map accumulation `pmf[grid.Key(v)] += p` followed by a
+// SortedKeys walk — bit for bit, via the same dense-or-map kernel
+// Mixture pools through. ev.Entropy uses it to collapse its two-pass
+// reach-then-pool enumeration into one buffered pass.
+func PoolPMF(grid numeric.Grid, values, probs []float64) ([]float64, []float64) {
+	return poolOnGrid(nil, grid, []poolGroup{{values: values, probs: probs, w: 1}})
+}
+
+func poolMap(st *convStats, grid numeric.Grid, groups []poolGroup) ([]float64, []float64) {
+	pooled := map[int64]float64{}
+	vals := map[int64]float64{}
+	for _, gr := range groups {
+		for j, v := range gr.values {
+			key := grid.Key(v)
+			if _, seen := vals[key]; !seen {
+				vals[key] = v
+			} else if st != nil {
+				st.merged++
+			}
+			if st != nil {
+				st.ops++
+			}
+			pooled[key] += gr.w * gr.probs[j]
+		}
+	}
+	keys := numeric.SortedKeys(pooled)
+	values := make([]float64, len(keys))
+	masses := make([]float64, len(keys))
+	for i, k := range keys {
+		values[i] = vals[k]
+		masses[i] = pooled[k]
+	}
+	return values, masses
+}
+
+func poolDense(st *convStats, grid numeric.Grid, groups []poolGroup) ([]float64, []float64, bool) {
+	shift, atoms := 0, 0
+	var maxAbs float64
+	for _, gr := range groups {
+		for _, v := range gr.values {
+			// −0.0 is a first-seen value the map path preserves but
+			// lattice reconstruction turns into +0.0.
+			if v == 0 && math.Signbit(v) {
+				return nil, nil, false
+			}
+			s, ok := dyadicShift(v)
+			if !ok {
+				return nil, nil, false
+			}
+			if s > shift {
+				shift = s
+			}
+			if a := math.Abs(v); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		atoms += len(gr.values)
+	}
+	if atoms == 0 {
+		return nil, nil, false
+	}
+	if !grid.KeysExactWithin(maxAbs) {
+		return nil, nil, false
+	}
+	t, ok := grid.CellsPerStride(math.Ldexp(1, -shift))
+	if !ok {
+		return nil, nil, false
+	}
+	pow2 := math.Ldexp(1, shift)
+	var lo, hi, g int64
+	started := false
+	var first int64
+	for _, gr := range groups {
+		for _, v := range gr.values {
+			a := int64(v * pow2)
+			if !started {
+				started = true
+				first, lo, hi = a, a, a
+				continue
+			}
+			if a < lo {
+				lo = a
+			}
+			if a > hi {
+				hi = a
+			}
+			g = gcd64(g, a-first)
+		}
+	}
+	// Authoritative exactness bound on the actual integer atoms: the
+	// value and its key must both stay inside float64's exact-integer
+	// range (see numeric.Grid.KeysExactWithin).
+	if lo < -maxExactInt/t || hi > maxExactInt/t {
+		return nil, nil, false
+	}
+	if g == 0 {
+		g = 1
+	}
+	width := (hi-lo)/g + 1
+	if width > maxDenseWidth || width > int64(maxDenseFanout)*int64(atoms) {
+		return nil, nil, false
+	}
+	sc := denseScratchPool.Get().(*denseScratch)
+	probs := growFloats(sc.probsA, int(width))
+	seen := growBools(sc.seenA, int(width))
+	clear(probs)
+	clear(seen)
+	for _, gr := range groups {
+		for j, v := range gr.values {
+			idx := (int64(v*pow2) - lo) / g
+			if !seen[idx] {
+				seen[idx] = true
+			} else if st != nil {
+				st.merged++
+			}
+			if st != nil {
+				st.ops++
+			}
+			probs[idx] += gr.w * gr.probs[j]
+		}
+	}
+	n := 0
+	for idx := range seen {
+		if seen[idx] {
+			n++
+		}
+	}
+	values := make([]float64, 0, n)
+	masses := make([]float64, 0, n)
+	d := math.Ldexp(1, -shift)
+	for idx := range seen {
+		if !seen[idx] {
+			continue
+		}
+		values = append(values, float64(lo+int64(idx)*g)*d)
+		masses = append(masses, probs[idx])
+	}
+	sc.probsA, sc.seenA = probs, seen
+	denseScratchPool.Put(sc)
+	return values, masses, true
+}
+
+// maxConvMapHint caps the bucket pre-allocation of one map-path
+// convolution or pooling layer. The raw product len(probs)·Size() is an
+// upper bound that wide-support workloads overshoot by orders of
+// magnitude once grid merges collapse the layer — and that can overflow
+// int outright on adversarial sizes. Past the cap the map grows on
+// demand like any other.
+const maxConvMapHint = 1 << 16
+
+// mapSizeHint returns a safe make() capacity hint for a layer producing
+// up to n·m entries: never negative, never the overflowed product,
+// never more than maxConvMapHint.
+func mapSizeHint(n, m int) int {
+	if n <= 0 || m <= 0 {
+		return 0
+	}
+	if n > maxConvMapHint/m {
+		return maxConvMapHint
+	}
+	return n * m
+}

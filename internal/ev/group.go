@@ -282,13 +282,42 @@ func (e *GroupEngine) pairEV(dists []*dist.Discrete, pi int, cleaned []bool, x, 
 }
 
 // evScratch is the per-worker workspace of the parallel enumeration
-// paths: an assignment vector, a support-index vector, and the term
-// evaluation buffer. Work items fully overwrite the slots they read,
-// so reusing a workspace across items never changes a result.
+// paths: an assignment vector, a support-index vector, the term
+// evaluation buffer, and the per-object moment workspace of the
+// singleton-benefit pass. Work items fully overwrite the slots they
+// read, so reusing a workspace across items never changes a result.
 type evScratch struct {
 	x   []float64
 	idx []int
 	buf []float64
+	// Flattened singleton-benefit workspace, indexed by object id:
+	// conditional first/second moment rows (grown to the object's
+	// support size on first use) and one Kahan accumulator per object.
+	// These replace per-term map[int] allocations whose lookups sat in
+	// the innermost per-state loop.
+	m1, m2 [][]float64
+	acc    []numeric.KahanAcc
+}
+
+func newEvScratch(n int) *evScratch {
+	return &evScratch{
+		x:   make([]float64, n),
+		idx: make([]int, n),
+		buf: make([]float64, 0, 32),
+		m1:  make([][]float64, n),
+		m2:  make([][]float64, n),
+		acc: make([]numeric.KahanAcc, n),
+	}
+}
+
+// momentRow returns row v of m grown to size. Contents are stale until
+// overwritten — every caller zeroes or assigns before reading.
+func momentRow(m [][]float64, v, size int) []float64 {
+	if cap(m[v]) < size {
+		m[v] = make([]float64, size)
+	}
+	m[v] = m[v][:size]
+	return m[v]
 }
 
 // scratchPool lazily allocates one workspace per parallel worker. The
@@ -304,12 +333,18 @@ func newScratchPool(n int) *scratchPool {
 }
 
 func (p *scratchPool) get(worker int) *evScratch {
+	if worker < 0 || worker >= len(p.s) {
+		// The slot slice was sized for the worker count at pool
+		// creation; a wider pool at execution time (CLEANSEL_WORKERS
+		// re-read between construction and run, or a caller-supplied
+		// wider pool) would index past it. Hand such a spill worker a
+		// fresh unpooled workspace instead: growing p.s here would race
+		// with the other workers, and scratch contents never affect
+		// results, so the only cost is a lost reuse.
+		return newEvScratch(p.n)
+	}
 	if p.s[worker] == nil {
-		p.s[worker] = &evScratch{
-			x:   make([]float64, p.n),
-			idx: make([]int, p.n),
-			buf: make([]float64, 0, 32),
-		}
+		p.s[worker] = newEvScratch(p.n)
 	}
 	return p.s[worker]
 }
@@ -715,21 +750,25 @@ func (s *State) SingletonBenefitsCtx(ctx context.Context) ([]float64, error) {
 		}
 		sc := pool.get(worker)
 		// evAfter[v] accumulates Σ_a p_a Σ_val p_val·Var[g | a, X_v=val].
-		evAfter := map[int]*numeric.KahanAcc{}
+		// The accumulators and moment rows live flat on the worker
+		// scratch, indexed by object id: the loops below run in the
+		// same order with the same fp operands as the map-keyed
+		// original, they just skip the hashing.
+		evAfter := sc.acc
 		for _, v := range b {
-			evAfter[v] = &numeric.KahanAcc{}
+			evAfter[v] = numeric.KahanAcc{}
 		}
-		m1 := map[int][]float64{}
-		m2 := map[int][]float64{}
+		m1, m2 := sc.m1, sc.m2
 		for _, v := range b {
-			m1[v] = make([]float64, e.dists[v].Size())
-			m2[v] = make([]float64, e.dists[v].Size())
+			momentRow(m1, v, e.dists[v].Size())
+			momentRow(m2, v, e.dists[v].Size())
 		}
 		enumerate(e.dists, a, sc.x, func(pa float64) {
 			for _, v := range b {
-				for j := range m1[v] {
-					m1[v][j] = 0
-					m2[v][j] = 0
+				r1, r2 := m1[v], m2[v]
+				for j := range r1 {
+					r1[j] = 0
+					r2[j] = 0
 				}
 			}
 			enumerateIdx(e.dists, b, sc.x, sc.idx, func(pb float64) {
@@ -742,12 +781,13 @@ func (s *State) SingletonBenefitsCtx(ctx context.Context) ([]float64, error) {
 			})
 			for _, v := range b {
 				d := e.dists[v]
+				r1, r2 := m1[v], m2[v]
 				for j, pv := range d.Probs {
 					if pv == 0 {
 						continue
 					}
-					mean := m1[v][j] / pv
-					variance := m2[v][j]/pv - mean*mean
+					mean := r1[j] / pv
+					variance := r2[j]/pv - mean*mean
 					if variance < 0 {
 						variance = 0
 					}

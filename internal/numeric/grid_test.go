@@ -88,6 +88,96 @@ func TestExactGridIntegers(t *testing.T) {
 	}
 }
 
+// TestGridKeySaturates documents the boundary behavior of the key
+// conversion: scaled products beyond ±2^63 saturate to the int64
+// extremes and NaN keys to 0, instead of Go's implementation-defined
+// out-of-range float→int conversion. In-contract magnitudes
+// (|x·scale| ≤ GridKeyMax) are untouched — the constructors never build
+// grids whose keys approach the boundary; this pins the behavior for
+// direct Key/QuantizeKey callers feeding unvalidated values.
+func TestGridKeySaturates(t *testing.T) {
+	g := DefaultGrid() // scale 1e9: the boundary sits at |x| = 2^63/1e9
+	cases := []struct {
+		x    float64
+		want int64
+	}{
+		{1e300, math.MaxInt64},
+		{-1e300, math.MinInt64},
+		{math.MaxFloat64, math.MaxInt64},
+		{-math.MaxFloat64, math.MinInt64},
+		{math.Inf(1), math.MaxInt64},
+		{math.Inf(-1), math.MinInt64},
+		{math.NaN(), 0},
+		// 2^63 / 1e9 scaled back up rounds to exactly 2^63: the first
+		// saturating magnitude. One part in 2^10 below it converts.
+		{9.223372036854775808e9, math.MaxInt64},
+		{-9.223372036854775808e9, math.MinInt64},
+		{9.2e9, int64(math.Round(9.2e9 * 1e9))},
+		{-9.2e9, int64(math.Round(-9.2e9 * 1e9))},
+	}
+	for _, c := range cases {
+		if got := g.Key(c.x); got != c.want {
+			t.Errorf("Key(%v) = %d, want %d", c.x, got, c.want)
+		}
+	}
+	// In-contract keys are bit-identical with the plain conversion.
+	for _, x := range []float64{0, 1, -1, 3.25, 99.999999, -123456.789, 9.9e7, 1e8} {
+		if got, want := g.Key(x), int64(math.Round(x*1e9)); got != want {
+			t.Errorf("in-contract Key(%v) = %d, want %d", x, got, want)
+		}
+	}
+}
+
+// TestKeysExactWithin pins the dense-kernel exactness certificate: the
+// scaled reach must stay inside float64's exact-integer range.
+func TestKeysExactWithin(t *testing.T) {
+	g := DefaultGrid()
+	if !g.KeysExactWithin(9e6) {
+		t.Error("9e6·1e9 = 9e15 ≤ 2^53 should certify")
+	}
+	if g.KeysExactWithin(1e8) {
+		t.Error("1e8·1e9 = 1e17 > 2^53 must not certify")
+	}
+	e := ExactGrid(1)
+	if !e.KeysExactWithin(1 << 53) {
+		t.Error("2^53 on the unit grid should certify")
+	}
+	if e.KeysExactWithin(math.Nextafter(1<<53, math.Inf(1))) {
+		t.Error("past 2^53 must not certify")
+	}
+	if GridFor(1e12).KeysExactWithin(math.NaN()) {
+		t.Error("NaN reach must not certify")
+	}
+}
+
+// TestCellsPerStride pins the stride→cells bridge the dense spans index
+// through: exact positive integer counts pass, everything else refuses.
+func TestCellsPerStride(t *testing.T) {
+	g := DefaultGrid() // scale 1e9
+	if c, ok := g.CellsPerStride(1); !ok || c != 1e9 {
+		t.Errorf("unit stride on 1e-9 grid: %d, %v", c, ok)
+	}
+	if c, ok := g.CellsPerStride(0.25); !ok || c != 25e7 {
+		t.Errorf("quarter stride: %d, %v", c, ok)
+	}
+	if _, ok := g.CellsPerStride(1.0 / 1024); ok {
+		t.Error("1e9/1024 is not integral; must refuse")
+	}
+	u := ExactGrid(1)
+	if c, ok := u.CellsPerStride(1); !ok || c != 1 {
+		t.Errorf("unit stride on unit grid: %d, %v", c, ok)
+	}
+	if _, ok := u.CellsPerStride(0.5); ok {
+		t.Error("sub-cell stride must refuse")
+	}
+	if _, ok := GridFor(1e18).CellsPerStride(1); ok {
+		t.Error("relative grid (scale < 1) must refuse integer strides")
+	}
+	if _, ok := u.CellsPerStride(math.NaN()); ok {
+		t.Error("NaN stride must refuse")
+	}
+}
+
 // FuzzGridKey fuzzes the key/value round trip: for any finite x within
 // the grid's reach, Value(Key(x)) stays within half a resolution (plus
 // the float round-off the legacy regime always had), keys are monotone,

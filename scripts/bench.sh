@@ -5,15 +5,22 @@
 # the full worker curve (workers=1, every power of two up to GOMAXPROCS,
 # and GOMAXPROCS itself — see benchWorkerCounts in bench_test.go), plus
 # BenchmarkWeightedSumWide (the reach≈1e12 integer convolution on the
-# scale-aware grid; no workers dimension), with BENCHTIME iterations per
-# rep (default 5x) and COUNT repetitions (default 3), and writes
-# BENCH_parallel.json at the repo root: per benchmark the min and median
-# ns/op across reps, plus a median-based speedup per (family, workers)
-# point relative to that family's workers=1 baseline — the whole scaling
-# curve, not just the endpoints. Families without a workers dimension
-# are recorded but excluded from speedups. A single 1x pass is noise;
-# min/median over repetitions is what makes cross-run comparisons
-# meaningful.
+# scale-aware grid; no workers dimension) and its dense-vs-map pair —
+# BenchmarkWeightedSumDense (the dense lattice kernel on the wide
+# workload shape) against BenchmarkWeightedSumMap (the same shape forced
+# down the hashed-map path) — with BENCHTIME iterations per rep (default
+# 5x) and COUNT repetitions (default 3), and writes BENCH_parallel.json
+# at the repo root: per benchmark the min and median ns/op across reps,
+# plus a median-based speedup per (family, workers) point relative to
+# that family's workers=1 baseline — the whole scaling curve, not just
+# the endpoints. Families without a workers dimension are recorded but
+# excluded from worker speedups; the dense-vs-map ratio lands in the
+# speedup object as "BenchmarkWeightedSumDense/vs=map" and is gated by
+# MIN_DENSE_SPEEDUP (default 5) — the dense convolution engine exists to
+# beat hashing by well over that on wide integer supports, and a drop
+# below the floor means the kernel quietly stopped engaging or paying.
+# A single 1x pass is noise; min/median over repetitions is what makes
+# cross-run comparisons meaningful.
 #
 # The benchmarks run at the machine's full GOMAXPROCS (the script
 # refuses an inherited GOMAXPROCS restriction unless BENCH_ALLOW_NARROW
@@ -54,6 +61,7 @@ cd "$(dirname "$0")/.."
 benchtime="${BENCHTIME:-5x}"
 count="${COUNT:-3}"
 min_speedup="${MIN_SPEEDUP:-0.9}"
+min_dense_speedup="${MIN_DENSE_SPEEDUP:-5}"
 out="${BENCH_OUT:-BENCH_parallel.json}"
 raw=$(mktemp)
 servedir=""
@@ -75,10 +83,10 @@ if [ -n "${GOMAXPROCS:-}" ] && [ "${GOMAXPROCS}" != "$ncpu" ] && [ -z "${BENCH_A
 fi
 export GOMAXPROCS="${GOMAXPROCS:-$ncpu}"
 
-go test -run '^$' -bench 'BenchmarkGroupEngineParallel|BenchmarkSelectParallel|BenchmarkWeightedSumWide' \
+go test -run '^$' -bench 'BenchmarkGroupEngineParallel|BenchmarkSelectParallel|BenchmarkWeightedSumWide|BenchmarkWeightedSumDense|BenchmarkWeightedSumMap' \
   -benchtime "$benchtime" -count "$count" . ./internal/dist | tee "$raw"
 
-awk -v benchtime="$benchtime" -v count="$count" -v min_speedup="$min_speedup" '
+awk -v benchtime="$benchtime" -v count="$count" -v min_speedup="$min_speedup" -v min_dense="$min_dense_speedup" '
   BEGIN { gomaxprocs = 1 }              # go test omits the -N suffix when GOMAXPROCS=1
   /^Benchmark/ && /ns\/op/ {
     name = $1
@@ -145,12 +153,26 @@ awk -v benchtime="$benchtime" -v count="$count" -v min_speedup="$min_speedup" '
       if (min_speedup + 0 > 0 && w == gomaxprocs && sp < min_speedup + 0)
         failmsg[++nfail] = sprintf("%s: %.3fx at workers=%s (floor %s)", f, sp, w, min_speedup)
     }
+    # Dense-vs-map: the wide-convolution workload on the dense lattice
+    # kernel against the same shape forced down the hashed-map path.
+    # Unlike the worker curve this ratio is CPU-count independent, so it
+    # is gated on every runner.
+    if (reps["BenchmarkWeightedSumMap"] > 0 && reps["BenchmarkWeightedSumDense"] > 0) {
+      dd = med("BenchmarkWeightedSumDense")
+      if (dd > 0) {
+        sp = med("BenchmarkWeightedSumMap") / dd
+        printf "%s\n    \"BenchmarkWeightedSumDense/vs=map\": %.3f", (first ? "" : ","), sp
+        first = 0
+        if (min_dense + 0 > 0 && sp < min_dense + 0)
+          failmsg[++nfail] = sprintf("dense-vs-map: %.3fx on the wide convolution (floor %s)", sp, min_dense)
+      }
+    }
     printf "\n  }\n}\n"
     for (i = 1; i <= nfail; i++) print "SPEEDUP-FAIL " failmsg[i] > "/dev/stderr"
     if (nfail > 0) exit 1
   }
 ' "$raw" > "$out" || {
-  echo "wrote $out (parallel speedup below floor $min_speedup):" >&2
+  echo "wrote $out (speedup below a floor: parallel $min_speedup, dense-vs-map $min_dense_speedup):" >&2
   cat "$out" >&2
   exit 1
 }
